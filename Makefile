@@ -1,0 +1,34 @@
+# Convenience targets for the Sprite process-migration reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark iteration per reproduced table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every reproduced table (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/spritesim -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pmake
+	$(GO) run ./examples/eviction
+	$(GO) run ./examples/loadsharing
+	$(GO) run ./examples/ipc
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,365 @@
+// Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+// file-server name-lookup cost (the E5 bottleneck), delayed write-back vs
+// write-through caching, network contention, eviction destination, and the
+// migration-point granularity (CPU quantum). Each reports the simulated
+// outcome via b.ReportMetric.
+package sprite_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/pmake"
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+)
+
+// pmakeMakespan builds a small project on `hosts` workstations with the
+// given parameters and returns the makespan.
+func pmakeMakespan(b *testing.B, params core.Params, hosts int) time.Duration {
+	b.Helper()
+	c, err := core.NewCluster(core.Options{Workstations: hosts, FileServers: 1, Seed: 17, Params: &params})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bin := range []string{"/bin/cc", "/bin/pmake"} {
+		if err := c.SeedBinary(bin, 256<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	proj := pmake.DefaultProjectParams()
+	proj.Units = 12
+	proj.CompileCPU = 2 * time.Second
+	proj.LinkCPU = 2 * time.Second
+	mf, err := pmake.SyntheticProject(c, rand.New(rand.NewSource(17)), proj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var remote []rpc.HostID
+	for _, k := range c.Workstations()[1:] {
+		remote = append(remote, k.Host())
+	}
+	var res *pmake.Result
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := c.Workstation(0).StartProcess(env, "pmake", func(ctx *core.Ctx) error {
+			r, err := pmake.Run(ctx, mf, pmake.Options{Force: true, Hosts: remote})
+			res = r
+			return err
+		}, core.ProcConfig{Binary: "/bin/pmake", CodePages: 8, HeapPages: 16, StackPages: 2})
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	return res.Makespan
+}
+
+// BenchmarkAblationNameLookupCost shows how the file server's per-lookup
+// CPU cost caps parallel-build speedup — Nelson's argument that client
+// name caching would double effective server capacity.
+func BenchmarkAblationNameLookupCost(b *testing.B) {
+	for _, lookup := range []time.Duration{500 * time.Microsecond, 2 * time.Millisecond, 8 * time.Millisecond} {
+		b.Run(lookup.String(), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				params := core.DefaultParams()
+				params.FS.NameLookupCPU = lookup
+				seq := pmakeMakespan(b, params, 1)
+				par := pmakeMakespan(b, params, 8)
+				speedup = float64(seq) / float64(par)
+			}
+			b.ReportMetric(speedup, "speedup-at-8-hosts")
+		})
+	}
+}
+
+// BenchmarkAblationWriteBack compares delayed write-back (Sprite) against
+// write-through client caching on the build workload.
+func BenchmarkAblationWriteBack(b *testing.B) {
+	for _, through := range []bool{false, true} {
+		name := "delayed-write-back"
+		if through {
+			name = "write-through"
+		}
+		b.Run(name, func(b *testing.B) {
+			var makespan time.Duration
+			for i := 0; i < b.N; i++ {
+				params := core.DefaultParams()
+				params.FS.WriteThrough = through
+				makespan = pmakeMakespan(b, params, 4)
+			}
+			b.ReportMetric(makespan.Seconds(), "sim-makespan-s")
+		})
+	}
+}
+
+// migrateDirty migrates one process with the given dirty footprint while a
+// third host streams bulk file traffic over the same network, and returns
+// the migration total.
+func migrateDirty(b *testing.B, params core.Params, dirtyPages int, seed int64) time.Duration {
+	b.Helper()
+	c, err := core.NewCluster(core.Options{Workstations: 3, FileServers: 1, Seed: seed, Params: &params})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SeedBinary("/bin/prog", 64<<10); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SeedBinary("/bulk", 2<<20); err != nil {
+		b.Fatal(err)
+	}
+	dst := c.Workstation(1)
+	bulkDone := false
+	c.Boot("boot", func(env *sim.Env) error {
+		// Background traffic: a third host repeatedly re-reads a large
+		// uncached file, keeping the wire busy.
+		env.Spawn("bulk", func(benv *sim.Env) error {
+			cl := c.FS().Client(c.Workstation(2).Host())
+			for !bulkDone {
+				if _, err := cl.ReadFile(benv, "/bulk"); err != nil {
+					return err
+				}
+				cl.DropCaches()
+			}
+			return nil
+		})
+		p, err := c.Workstation(0).StartProcess(env, "m", func(ctx *core.Ctx) error {
+			if err := ctx.TouchHeap(0, dirtyPages, true); err != nil {
+				return err
+			}
+			return ctx.Migrate(dst.Host())
+		}, core.ProcConfig{Binary: "/bin/prog", CodePages: 4, HeapPages: dirtyPages, StackPages: 2})
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		bulkDone = true
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	return c.MigrationRecords()[0].Total
+}
+
+// BenchmarkAblationNetworkContention compares migrating 4 MB over a
+// dedicated path against a shared (contended) medium while background
+// traffic flows.
+func BenchmarkAblationNetworkContention(b *testing.B) {
+	for _, contended := range []bool{false, true} {
+		name := "uncontended"
+		if contended {
+			name = "contended"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				params := core.DefaultParams()
+				params.Net.Contended = contended
+				total = migrateDirty(b, params, 4<<20/params.VM.PageSize, int64(i))
+			}
+			b.ReportMetric(float64(total.Milliseconds()), "sim-ms/migration")
+		})
+	}
+}
+
+// BenchmarkAblationEvictionDestination compares Sprite's evict-home policy
+// against re-selecting a fresh idle host: the job finishes sooner when it
+// doesn't land back on its (busy) home machine.
+func BenchmarkAblationEvictionDestination(b *testing.B) {
+	run := func(b *testing.B, reselect bool) time.Duration {
+		b.Helper()
+		c, err := core.NewCluster(core.Options{Workstations: 3, FileServers: 1, Seed: 33})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.SeedBinary("/bin/prog", 64<<10); err != nil {
+			b.Fatal(err)
+		}
+		home, lent, spare := c.Workstation(0), c.Workstation(1), c.Workstation(2)
+		if reselect {
+			// The re-select policy sends evictees to the spare host (in a
+			// full system a Selector would pick it).
+			lent.SetEvictionTarget(func(env *sim.Env, p *core.Process) *core.Kernel {
+				return spare
+			})
+		}
+		var done time.Duration
+		c.Boot("boot", func(env *sim.Env) error {
+			// Home is kept busy by its own user's work.
+			if _, err := home.StartProcess(env, "local-work", func(ctx *core.Ctx) error {
+				return ctx.Compute(60 * time.Second)
+			}, core.ProcConfig{Binary: "/bin/prog", CodePages: 2, HeapPages: 4, StackPages: 1}); err != nil {
+				return err
+			}
+			guest, err := home.StartProcess(env, "guest", func(ctx *core.Ctx) error {
+				if err := ctx.Migrate(lent.Host()); err != nil {
+					return err
+				}
+				return ctx.Compute(20 * time.Second)
+			}, core.ProcConfig{Binary: "/bin/prog", CodePages: 2, HeapPages: 8, StackPages: 1})
+			if err != nil {
+				return err
+			}
+			if err := env.Sleep(5 * time.Second); err != nil {
+				return err
+			}
+			lent.NoteInput(env.Now())
+			if err := lent.EvictAll(env); err != nil {
+				return err
+			}
+			if _, err := guest.Exited().Wait(env); err != nil {
+				return err
+			}
+			done = env.Now()
+			return nil
+		})
+		if err := c.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		return done
+	}
+	for _, reselect := range []bool{false, true} {
+		name := "evict-home"
+		if reselect {
+			name = "evict-reselect"
+		}
+		b.Run(name, func(b *testing.B) {
+			var done time.Duration
+			for i := 0; i < b.N; i++ {
+				done = run(b, reselect)
+			}
+			b.ReportMetric(done.Seconds(), "sim-guest-completion-s")
+		})
+	}
+}
+
+// BenchmarkAblationSwapServer compares migration cost with VM backing
+// store on the (busy) root file server versus a dedicated swap server —
+// the "scale the file system" direction the thesis's future-work chapter
+// discusses.
+func BenchmarkAblationSwapServer(b *testing.B) {
+	run := func(b *testing.B, dedicated bool) time.Duration {
+		b.Helper()
+		params := core.DefaultParams()
+		// A slow (Sun-3 class) server CPU makes the server, not the wire,
+		// the contended resource — the regime the ablation is about.
+		params.FS.BlockServerCPU = 3 * time.Millisecond
+		opts := core.Options{Workstations: 2, FileServers: 1, Seed: 55, Params: &params}
+		if dedicated {
+			opts.FileServers = 2
+			opts.ServerPrefixes = []string{"/", "/swap"}
+		}
+		c, err := core.NewCluster(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.SeedBinary("/bin/prog", 64<<10); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.SeedBinary("/bulk", 1<<20); err != nil {
+			b.Fatal(err)
+		}
+		dst := c.Workstation(1)
+		dirtyPages := 2 << 20 / c.Params().VM.PageSize
+		stop := false
+		var total time.Duration
+		c.Boot("boot", func(env *sim.Env) error {
+			// Background load hammers the root server with reads.
+			env.Spawn("load", func(le *sim.Env) error {
+				cl := c.FS().Client(dst.Host())
+				for !stop {
+					if _, err := cl.ReadFile(le, "/bulk"); err != nil {
+						return err
+					}
+					cl.DropCaches()
+				}
+				return nil
+			})
+			p, err := c.Workstation(0).StartProcess(env, "m", func(ctx *core.Ctx) error {
+				if err := ctx.TouchHeap(0, dirtyPages, true); err != nil {
+					return err
+				}
+				return ctx.Migrate(dst.Host())
+			}, core.ProcConfig{Binary: "/bin/prog", CodePages: 4, HeapPages: dirtyPages, StackPages: 2})
+			if err != nil {
+				return err
+			}
+			_, err = p.Exited().Wait(env)
+			stop = true
+			return err
+		})
+		if err := c.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		total = c.MigrationRecords()[0].Total
+		return total
+	}
+	for _, dedicated := range []bool{false, true} {
+		name := "shared-root-server"
+		if dedicated {
+			name = "dedicated-swap-server"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				total = run(b, dedicated)
+			}
+			b.ReportMetric(float64(total.Milliseconds()), "sim-ms/migration")
+		})
+	}
+}
+
+// BenchmarkAblationCPUQuantum measures how the scheduling quantum (the
+// migration-point granularity for compute-bound processes) delays the start
+// of a requested migration.
+func BenchmarkAblationCPUQuantum(b *testing.B) {
+	for _, quantum := range []time.Duration{5 * time.Millisecond, 20 * time.Millisecond, 100 * time.Millisecond} {
+		b.Run(quantum.String(), func(b *testing.B) {
+			var wait time.Duration
+			for i := 0; i < b.N; i++ {
+				params := core.DefaultParams()
+				params.CPUQuantum = quantum
+				c, err := core.NewCluster(core.Options{Workstations: 2, FileServers: 1, Seed: 3, Params: &params})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.SeedBinary("/bin/prog", 64<<10); err != nil {
+					b.Fatal(err)
+				}
+				dst := c.Workstation(1)
+				c.Boot("boot", func(env *sim.Env) error {
+					p, err := c.Workstation(0).StartProcess(env, "busy", func(ctx *core.Ctx) error {
+						return ctx.Compute(10 * time.Second)
+					}, core.ProcConfig{Binary: "/bin/prog", CodePages: 2, HeapPages: 4, StackPages: 1})
+					if err != nil {
+						return err
+					}
+					// Misaligned with every quantum size, so the request
+					// waits out the remainder of the current quantum.
+					if err := env.Sleep(1013 * time.Millisecond); err != nil {
+						return err
+					}
+					t0 := env.Now()
+					done := c.Workstation(0).RequestMigration(p, dst, "bench")
+					if _, err := done.Wait(env); err != nil {
+						return err
+					}
+					wait = env.Now() - t0
+					_, err = p.Exited().Wait(env)
+					return err
+				})
+				if err := c.Run(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(wait.Milliseconds()), "sim-ms-request-to-done")
+		})
+	}
+}

@@ -1,0 +1,197 @@
+// Baseline comparisons: Sprite migration against the mechanisms the thesis
+// positions it against — checkpoint/restart (Condor-style) for moving a
+// running computation, and forward-everything (Remote UNIX-style) for
+// remote transparency.
+package sprite_test
+
+import (
+	"testing"
+	"time"
+
+	"sprite/internal/checkpoint"
+	"sprite/internal/core"
+	"sprite/internal/sim"
+)
+
+// moveViaMigration runs a job that dirties `dirty` of `resident` pages,
+// moves mid-run to the second host via Sprite migration, touches its
+// working set back in, and finishes. Returns the time from move-start to
+// back-at-full-speed.
+func moveViaMigration(b *testing.B, resident, dirty int) time.Duration {
+	b.Helper()
+	c, err := core.NewCluster(core.Options{Workstations: 2, FileServers: 1, Seed: 77})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SeedBinary("/bin/job", 128<<10); err != nil {
+		b.Fatal(err)
+	}
+	dst := c.Workstation(1)
+	cfg := core.ProcConfig{Binary: "/bin/job", CodePages: 4, HeapPages: resident, StackPages: 2}
+	var moveCost time.Duration
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := c.Workstation(0).StartProcess(env, "job", func(ctx *core.Ctx) error {
+			if err := ctx.TouchHeap(0, resident, false); err != nil {
+				return err
+			}
+			if err := ctx.TouchHeap(0, dirty, true); err != nil {
+				return err
+			}
+			t0 := ctx.Now()
+			if err := ctx.Migrate(dst.Host()); err != nil {
+				return err
+			}
+			if err := ctx.TouchHeap(0, resident, false); err != nil {
+				return err
+			}
+			moveCost = ctx.Now() - t0
+			return nil
+		}, cfg)
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	return moveCost
+}
+
+// moveViaCheckpoint does the same move with a checkpoint file: save image,
+// exit, restart on the target, restore.
+func moveViaCheckpoint(b *testing.B, resident, dirty int) time.Duration {
+	b.Helper()
+	c, err := core.NewCluster(core.Options{Workstations: 2, FileServers: 1, Seed: 77})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SeedBinary("/bin/job", 128<<10); err != nil {
+		b.Fatal(err)
+	}
+	dst := c.Workstation(1)
+	cfg := core.ProcConfig{Binary: "/bin/job", CodePages: 4, HeapPages: resident, StackPages: 2}
+	var moveCost time.Duration
+	c.Boot("boot", func(env *sim.Env) error {
+		var t0 time.Duration
+		p1, err := c.Workstation(0).StartProcess(env, "job", func(ctx *core.Ctx) error {
+			if err := ctx.TouchHeap(0, resident, false); err != nil {
+				return err
+			}
+			if err := ctx.TouchHeap(0, dirty, true); err != nil {
+				return err
+			}
+			t0 = ctx.Now()
+			if _, err := checkpoint.Save(ctx, "/ckpt/job.img"); err != nil {
+				return err
+			}
+			return ctx.Exit(0)
+		}, cfg)
+		if err != nil {
+			return err
+		}
+		if _, err := p1.Exited().Wait(env); err != nil {
+			return err
+		}
+		p2, err := dst.StartProcess(env, "job", func(ctx *core.Ctx) error {
+			if _, err := checkpoint.Restore(ctx, "/ckpt/job.img"); err != nil {
+				return err
+			}
+			if err := ctx.TouchHeap(0, resident, false); err != nil {
+				return err
+			}
+			moveCost = ctx.Now() - t0
+			return nil
+		}, cfg)
+		if err != nil {
+			return err
+		}
+		_, err = p2.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	return moveCost
+}
+
+// BenchmarkBaselineMigrationVsCheckpoint compares the two ways of moving a
+// running computation for a mostly-clean working set (the common case:
+// code and warmed read-only data dominate). Sprite moves only the dirty
+// pages through the server and demand-pages the rest; checkpoint/restart
+// writes and re-reads the whole resident image.
+func BenchmarkBaselineMigrationVsCheckpoint(b *testing.B) {
+	const resident, dirty = 256, 32 // 2 MB resident, 256 KB dirty
+	b.Run("sprite-migration", func(b *testing.B) {
+		var cost time.Duration
+		for i := 0; i < b.N; i++ {
+			cost = moveViaMigration(b, resident, dirty)
+		}
+		b.ReportMetric(float64(cost.Milliseconds()), "sim-ms/move")
+	})
+	b.Run("checkpoint-restart", func(b *testing.B) {
+		var cost time.Duration
+		for i := 0; i < b.N; i++ {
+			cost = moveViaCheckpoint(b, resident, dirty)
+		}
+		b.ReportMetric(float64(cost.Milliseconds()), "sim-ms/move")
+	})
+}
+
+// BenchmarkBaselineForwardAll compares Sprite's selective forwarding with
+// the Remote UNIX forward-everything design on a syscall-heavy remote
+// process.
+func BenchmarkBaselineForwardAll(b *testing.B) {
+	run := func(b *testing.B, forwardAll bool) time.Duration {
+		b.Helper()
+		c, err := core.NewCluster(core.Options{Workstations: 2, FileServers: 1, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.SeedBinary("/bin/job", 64<<10); err != nil {
+			b.Fatal(err)
+		}
+		dst := c.Workstation(1)
+		dst.SetForwardAll(forwardAll)
+		var elapsed time.Duration
+		c.Boot("boot", func(env *sim.Env) error {
+			p, err := c.Workstation(0).StartProcess(env, "sysheavy", func(ctx *core.Ctx) error {
+				if err := ctx.Migrate(dst.Host()); err != nil {
+					return err
+				}
+				t0 := ctx.Now()
+				for i := 0; i < 200; i++ {
+					if _, err := ctx.GetPID(); err != nil {
+						return err
+					}
+				}
+				elapsed = ctx.Now() - t0
+				return nil
+			}, core.ProcConfig{Binary: "/bin/job", CodePages: 2, HeapPages: 4, StackPages: 1})
+			if err != nil {
+				return err
+			}
+			_, err = p.Exited().Wait(env)
+			return err
+		})
+		if err := c.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		return elapsed
+	}
+	b.Run("sprite-selective", func(b *testing.B) {
+		var d time.Duration
+		for i := 0; i < b.N; i++ {
+			d = run(b, false)
+		}
+		b.ReportMetric(float64(d.Milliseconds()), "sim-ms/200-getpid")
+	})
+	b.Run("remote-unix-forward-all", func(b *testing.B) {
+		var d time.Duration
+		for i := 0; i < b.N; i++ {
+			d = run(b, true)
+		}
+		b.ReportMetric(float64(d.Milliseconds()), "sim-ms/200-getpid")
+	})
+}

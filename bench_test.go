@@ -1,0 +1,176 @@
+// Benchmarks: one per reproduced table/figure (E1-E12; see EXPERIMENTS.md)
+// plus micro-benchmarks of the migration mechanism itself. Each experiment
+// bench runs its driver and reports the headline simulated-time metrics via
+// b.ReportMetric; run with -v to see the full reproduced tables.
+package sprite_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/experiments"
+	"sprite/internal/sim"
+)
+
+// benchConfig keeps experiment benches fast and deterministic.
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 42, Quick: true}
+}
+
+// runExperiment executes one experiment driver b.N times, logging the final
+// table.
+func runExperiment(b *testing.B, id string) *experiments.Table {
+	b.Helper()
+	r := experiments.Find(id)
+	if r == nil {
+		b.Fatalf("no experiment %s", id)
+	}
+	var tbl *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = r.Run(benchConfig())
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	b.Logf("\n%s", tbl)
+	return tbl
+}
+
+func BenchmarkE1MigrationBreakdown(b *testing.B) {
+	tbl := runExperiment(b, "E1")
+	reportCell(b, tbl, 0, 2, "base-migration-sim-ms")
+}
+
+func BenchmarkE2RemoteExec(b *testing.B) {
+	tbl := runExperiment(b, "E2")
+	reportCell(b, tbl, 1, 2, "remote-exec-sim-ms")
+}
+
+func BenchmarkE3VMStrategies(b *testing.B) {
+	tbl := runExperiment(b, "E3")
+	reportCell(b, tbl, 0, 3, "sprite-flush-freeze-sim-ms")
+}
+
+func BenchmarkE4Forwarding(b *testing.B) {
+	tbl := runExperiment(b, "E4")
+	reportCell(b, tbl, 1, 3, "forwarded-gettimeofday-sim-us")
+}
+
+func BenchmarkE5PmakeSpeedup(b *testing.B) {
+	tbl := runExperiment(b, "E5")
+	reportCell(b, tbl, len(tbl.Rows)-1, 2, "speedup-at-max-hosts")
+}
+
+func BenchmarkE6Utilization(b *testing.B) {
+	tbl := runExperiment(b, "E6")
+	reportCell(b, tbl, 0, 5, "simulations-utilization-pct")
+}
+
+func BenchmarkE7SelectionLatency(b *testing.B) {
+	tbl := runExperiment(b, "E7")
+	reportCell(b, tbl, 0, 1, "central-select-release-sim-ms")
+}
+
+func BenchmarkE8SelectionArchitectures(b *testing.B) {
+	runExperiment(b, "E8")
+}
+
+func BenchmarkE9Eviction(b *testing.B) {
+	tbl := runExperiment(b, "E9")
+	reportCell(b, tbl, len(tbl.Rows)-1, 1, "reclaim-sim-ms")
+}
+
+func BenchmarkE10IdleFraction(b *testing.B) {
+	tbl := runExperiment(b, "E10")
+	reportCell(b, tbl, 0, 1, "day-idle-pct")
+}
+
+func BenchmarkE11PlacementVsMigration(b *testing.B) {
+	tbl := runExperiment(b, "E11")
+	reportCell(b, tbl, 1, 2, "placement-mean-completion-s")
+}
+
+func BenchmarkE12SyscallTable(b *testing.B) {
+	runExperiment(b, "E12")
+}
+
+func BenchmarkE13RemotePenalty(b *testing.B) {
+	tbl := runExperiment(b, "E13")
+	reportCell(b, tbl, 2, 3, "home-call-slowdown-pct")
+}
+
+func BenchmarkE14DayInTheLife(b *testing.B) {
+	runExperiment(b, "E14")
+}
+
+// reportCell publishes one numeric table cell as a benchmark metric.
+func reportCell(b *testing.B, tbl *experiments.Table, row, col int, unit string) {
+	b.Helper()
+	if row >= len(tbl.Rows) || col >= len(tbl.Rows[row]) {
+		b.Fatalf("no cell (%d,%d) in %s", row, col, tbl.ID)
+	}
+	s := strings.TrimSuffix(tbl.Rows[row][col], "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return // non-numeric cell: skip the metric, keep the table log
+	}
+	b.ReportMetric(v, unit)
+}
+
+// --- micro-benchmarks of the mechanism itself ---
+
+// BenchmarkMicroMigration measures the real (host) cost of simulating one
+// full migration, and reports the simulated migration latency.
+func BenchmarkMicroMigration(b *testing.B) {
+	var simTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		c, err := core.NewCluster(core.Options{Workstations: 2, FileServers: 1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.SeedBinary("/bin/prog", 64<<10); err != nil {
+			b.Fatal(err)
+		}
+		src, dst := c.Workstation(0), c.Workstation(1)
+		c.Boot("boot", func(env *sim.Env) error {
+			p, err := src.StartProcess(env, "m", func(ctx *core.Ctx) error {
+				if err := ctx.TouchHeap(0, 16, true); err != nil {
+					return err
+				}
+				return ctx.Migrate(dst.Host())
+			}, core.ProcConfig{Binary: "/bin/prog", CodePages: 4, HeapPages: 16, StackPages: 2})
+			if err != nil {
+				return err
+			}
+			_, err = p.Exited().Wait(env)
+			return err
+		})
+		if err := c.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		recs := c.MigrationRecords()
+		simTotal += recs[0].Total
+	}
+	b.ReportMetric(float64(simTotal.Milliseconds())/float64(b.N), "sim-ms/migration")
+}
+
+// BenchmarkMicroSimulatorThroughput measures raw simulator event throughput
+// (CPU quanta processed per second of host time).
+func BenchmarkMicroSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(1)
+		cpu := sim.NewCPU(s, 10*time.Millisecond)
+		for j := 0; j < 8; j++ {
+			s.Spawn("burn", func(env *sim.Env) error {
+				return cpu.Compute(env, 10*time.Second)
+			})
+		}
+		if err := s.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command migbench runs migration micro-benchmarks: one migration with a
+// configurable process footprint under each VM transfer strategy, printing
+// the per-component breakdown.
+//
+// Usage:
+//
+//	migbench -files 4 -dirty-mb 8 [-strategy all|sprite-flush|full-copy|copy-on-reference|pre-copy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/fs"
+	"sprite/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "migbench:", err)
+		os.Exit(1)
+	}
+}
+
+func strategies(name string) ([]core.TransferStrategy, error) {
+	all := []core.TransferStrategy{
+		core.SpriteFlushStrategy{},
+		core.FullCopyStrategy{},
+		core.CopyOnReferenceStrategy{},
+		core.PreCopyStrategy{RedirtyPagesPerSec: 50},
+	}
+	if name == "all" || name == "" {
+		return all, nil
+	}
+	for _, s := range all {
+		if s.Name() == name {
+			return []core.TransferStrategy{s}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown strategy %q", name)
+}
+
+func run(args []string) error {
+	flags := flag.NewFlagSet("migbench", flag.ContinueOnError)
+	var (
+		files    = flags.Int("files", 4, "open files at migration time")
+		dirtyMB  = flags.Int("dirty-mb", 8, "dirty heap megabytes at migration time")
+		strategy = flags.String("strategy", "all", "VM transfer strategy (or 'all')")
+		seed     = flags.Int64("seed", 42, "simulation seed")
+	)
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	sts, err := strategies(*strategy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %-10s %-10s %-9s %-9s %-9s %-9s %-8s\n",
+		"strategy", "total", "freeze", "vm", "files", "pcb", "resume", "residual")
+	for _, s := range sts {
+		rec, resume, err := migrateOnce(*seed, s, *files, *dirtyMB)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %-10s %-10s %-9s %-9s %-9s %-9s %-8v\n",
+			s.Name(),
+			rec.Total.Round(100*time.Microsecond),
+			rec.Freeze.Round(100*time.Microsecond),
+			rec.VMTime.Round(100*time.Microsecond),
+			rec.FileTime.Round(100*time.Microsecond),
+			rec.PCBTime.Round(100*time.Microsecond),
+			resume.Round(100*time.Microsecond),
+			rec.Residual)
+	}
+	return nil
+}
+
+func migrateOnce(seed int64, strategy core.TransferStrategy, files, dirtyMB int) (core.MigrationRecord, time.Duration, error) {
+	c, err := core.NewCluster(core.Options{Workstations: 2, FileServers: 1, Seed: seed})
+	if err != nil {
+		return core.MigrationRecord{}, 0, err
+	}
+	if err := c.SeedBinary("/bin/prog", 128<<10); err != nil {
+		return core.MigrationRecord{}, 0, err
+	}
+	for i := 0; i < files; i++ {
+		if err := c.Seed(fmt.Sprintf("/data/f%d", i), []byte("contents")); err != nil {
+			return core.MigrationRecord{}, 0, err
+		}
+	}
+	c.SetStrategyAll(strategy)
+	pageSize := c.Params().VM.PageSize
+	dirtyPages := dirtyMB << 20 / pageSize
+	heap := dirtyPages
+	if heap < 8 {
+		heap = 8
+	}
+	src, dst := c.Workstation(0), c.Workstation(1)
+	var resume time.Duration
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := src.StartProcess(env, "subject", func(ctx *core.Ctx) error {
+			for i := 0; i < files; i++ {
+				if _, err := ctx.Open(fmt.Sprintf("/data/f%d", i), fs.ReadMode, fs.OpenOptions{}); err != nil {
+					return err
+				}
+			}
+			if dirtyPages > 0 {
+				if err := ctx.TouchHeap(0, dirtyPages, true); err != nil {
+					return err
+				}
+			}
+			if err := ctx.Migrate(dst.Host()); err != nil {
+				return err
+			}
+			t0 := ctx.Now()
+			if dirtyPages > 0 {
+				if err := ctx.TouchHeap(0, dirtyPages, false); err != nil {
+					return err
+				}
+			}
+			resume = ctx.Now() - t0
+			return nil
+		}, core.ProcConfig{Binary: "/bin/prog", CodePages: 8, HeapPages: heap, StackPages: 2})
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		return core.MigrationRecord{}, 0, err
+	}
+	recs := c.MigrationRecords()
+	if len(recs) != 1 {
+		return core.MigrationRecord{}, 0, fmt.Errorf("expected 1 migration, got %d", len(recs))
+	}
+	return recs[0], resume, nil
+}

@@ -1,0 +1,111 @@
+// Command pmakesim runs parallel-make speedup sweeps on a simulated Sprite
+// cluster (the thesis's flagship workload) with tunable project shape.
+//
+// Usage:
+//
+//	pmakesim -hosts 1,2,4,8,12,16 -units 24 -compile 4s -link 6s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/pmake"
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pmakesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pmakesim", flag.ContinueOnError)
+	var (
+		hostsFlag = fs.String("hosts", "1,2,4,8,12,16", "comma-separated host counts to sweep")
+		units     = fs.Int("units", 24, "compilation units")
+		compile   = fs.Duration("compile", 4*time.Second, "mean compile CPU per unit")
+		link      = fs.Duration("link", 6*time.Second, "link CPU")
+		lookups   = fs.Int("lookups", 80, "include-path lookups per unit")
+		seed      = fs.Int64("seed", 42, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sweep []int
+	for _, part := range strings.Split(*hostsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad host count %q", part)
+		}
+		sweep = append(sweep, n)
+	}
+	proj := pmake.DefaultProjectParams()
+	proj.Units = *units
+	proj.CompileCPU = *compile
+	proj.LinkCPU = *link
+	proj.LookupsPerUnit = *lookups
+
+	fmt.Printf("%-6s %-12s %-8s %-14s %-10s\n", "hosts", "makespan", "speedup", "server-busy", "remote-jobs")
+	var base time.Duration
+	for _, h := range sweep {
+		res, serverBusy, err := buildOnce(*seed, h, proj)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = res.Makespan
+		}
+		fmt.Printf("%-6d %-12s %-8.2f %-14s %-10d\n",
+			h, res.Makespan.Round(10*time.Millisecond),
+			float64(base)/float64(res.Makespan),
+			serverBusy.Round(10*time.Millisecond), res.RemoteJobs)
+	}
+	return nil
+}
+
+func buildOnce(seed int64, hosts int, proj pmake.ProjectParams) (*pmake.Result, time.Duration, error) {
+	c, err := core.NewCluster(core.Options{Workstations: hosts, FileServers: 1, Seed: seed})
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, bin := range []string{"/bin/cc", "/bin/pmake"} {
+		if err := c.SeedBinary(bin, 256<<10); err != nil {
+			return nil, 0, err
+		}
+	}
+	mf, err := pmake.SyntheticProject(c, rand.New(rand.NewSource(seed)), proj)
+	if err != nil {
+		return nil, 0, err
+	}
+	var remote []rpc.HostID
+	for _, k := range c.Workstations()[1:] {
+		remote = append(remote, k.Host())
+	}
+	var res *pmake.Result
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := c.Workstation(0).StartProcess(env, "pmake", func(ctx *core.Ctx) error {
+			r, err := pmake.Run(ctx, mf, pmake.Options{Force: true, Hosts: remote})
+			res = r
+			return err
+		}, core.ProcConfig{Binary: "/bin/pmake", CodePages: 8, HeapPages: 16, StackPages: 2})
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		return nil, 0, err
+	}
+	return res, c.Servers()[0].CPUBusy(), nil
+}

@@ -1,0 +1,69 @@
+// Command spritesim runs the reproduced experiments of the Sprite process
+// migration thesis and prints their tables.
+//
+// Usage:
+//
+//	spritesim -list
+//	spritesim -experiment E5 [-seed 42] [-quick]
+//	spritesim -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sprite/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spritesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spritesim", flag.ContinueOnError)
+	var (
+		list  = fs.Bool("list", false, "list available experiments")
+		expID = fs.String("experiment", "", "experiment id to run (E1..E14)")
+		all   = fs.Bool("all", false, "run every experiment")
+		seed  = fs.Int64("seed", 42, "simulation seed")
+		quick = fs.Bool("quick", false, "smaller parameter sweeps")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	switch {
+	case *list:
+		for _, r := range experiments.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return nil
+	case *all:
+		for _, r := range experiments.All() {
+			tbl, err := r.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", r.ID, err)
+			}
+			fmt.Println(tbl)
+		}
+		return nil
+	case *expID != "":
+		r := experiments.Find(*expID)
+		if r == nil {
+			return fmt.Errorf("unknown experiment %q (try -list)", *expID)
+		}
+		tbl, err := r.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -experiment, -all, or -list")
+	}
+}

@@ -1,0 +1,95 @@
+// Eviction: a long simulation borrows an idle workstation; when that
+// workstation's owner comes back, migd revokes the loan and the simulation
+// is transparently migrated home, where it finishes correctly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sprite"
+	"sprite/internal/hostsel"
+	"sprite/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := sprite.NewCluster(sprite.Options{Workstations: 2, FileServers: 1, Seed: 3})
+	if err != nil {
+		return err
+	}
+	if err := cluster.SeedBinary("/bin/sim", 256<<10); err != nil {
+		return err
+	}
+	migd := hostsel.NewCentral(cluster, sprite.HostID(1), hostsel.DefaultCentralParams())
+	home, lent := cluster.Workstation(0), cluster.Workstation(1)
+
+	cluster.Boot("boot", func(env *sim.Env) error {
+		if err := env.Sleep(time.Minute); err != nil {
+			return err
+		}
+		for _, k := range cluster.Workstations() {
+			if err := migd.NotifyAvailability(env, k.Host(), k.Available(env.Now())); err != nil {
+				return err
+			}
+		}
+		hosts, err := migd.RequestHosts(env, home.Host(), 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%8v] borrowed %v for a long simulation\n", env.Now(), hosts)
+
+		p, err := home.StartProcess(env, "simulation", func(ctx *sprite.Ctx) error {
+			if err := ctx.Migrate(hosts[0]); err != nil {
+				return err
+			}
+			fmt.Printf("[%8v] simulation running on %v, dirtying 2 MB\n",
+				ctx.Now(), ctx.Process().Current().Host())
+			if err := ctx.TouchHeap(0, 256, true); err != nil {
+				return err
+			}
+			if err := ctx.Compute(30 * time.Second); err != nil {
+				return err
+			}
+			fmt.Printf("[%8v] simulation finished on %v after %d migrations\n",
+				ctx.Now(), ctx.Process().Current().Host(), ctx.Process().Migrations())
+			return nil
+		}, sprite.ProcConfig{Binary: "/bin/sim", CodePages: 8, HeapPages: 256, StackPages: 2})
+		if err != nil {
+			return err
+		}
+
+		// Ten seconds in, the owner of the borrowed machine returns.
+		if err := env.Sleep(10 * time.Second); err != nil {
+			return err
+		}
+		fmt.Printf("[%8v] owner returns to %v — migd revokes the loan\n", env.Now(), lent.Host())
+		lent.NoteInput(env.Now())
+		t0 := env.Now()
+		if err := migd.NotifyAvailability(env, lent.Host(), false); err != nil {
+			return err
+		}
+		fmt.Printf("[%8v] workstation reclaimed in %v; foreign processes left: %d\n",
+			env.Now(), env.Now()-t0, len(lent.ForeignProcesses()))
+
+		if _, err := p.Exited().Wait(env); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err := cluster.Run(0); err != nil {
+		return err
+	}
+	for _, rec := range cluster.MigrationRecords() {
+		fmt.Printf("migration %v -> %v (%s): total=%v, vm=%v\n",
+			rec.From, rec.To, rec.Reason,
+			rec.Total.Round(time.Millisecond), rec.VMTime.Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Parallel make across idle hosts — the workload that motivated Sprite's
+// migration facility. A pmake process asks the central host-selection
+// server (migd) for idle hosts, fans compilation units out to them with
+// exec-time migration, links sequentially, and releases the hosts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"sprite"
+	"sprite/internal/hostsel"
+	"sprite/internal/pmake"
+	"sprite/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := sprite.NewCluster(sprite.Options{Workstations: 10, FileServers: 1, Seed: 7})
+	if err != nil {
+		return err
+	}
+	for _, bin := range []string{"/bin/cc", "/bin/pmake"} {
+		if err := cluster.SeedBinary(bin, 256<<10); err != nil {
+			return err
+		}
+	}
+	proj := pmake.DefaultProjectParams()
+	proj.Units = 16
+	proj.CompileCPU = 3 * time.Second
+	mf, err := pmake.SyntheticProject(cluster, rand.New(rand.NewSource(7)), proj)
+	if err != nil {
+		return err
+	}
+	migd := hostsel.NewCentral(cluster, sprite.HostID(1), hostsel.DefaultCentralParams())
+
+	cluster.Boot("boot", func(env *sim.Env) error {
+		// Everyone has been idle for a minute; load daemons report in.
+		if err := env.Sleep(time.Minute); err != nil {
+			return err
+		}
+		for _, k := range cluster.Workstations() {
+			if err := migd.NotifyAvailability(env, k.Host(), k.Available(env.Now())); err != nil {
+				return err
+			}
+		}
+		self := cluster.Workstation(0)
+		hosts, err := migd.RequestHosts(env, self.Host(), 8)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%8v] migd granted %d idle hosts: %v\n", env.Now(), len(hosts), hosts)
+
+		p, err := self.StartProcess(env, "pmake", func(ctx *sprite.Ctx) error {
+			res, err := pmake.Run(ctx, mf, pmake.Options{Force: true, Hosts: hosts})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("[%8v] build done: %d jobs (%d remote), makespan %v, job CPU %v\n",
+				ctx.Now(), res.Jobs, res.RemoteJobs,
+				res.Makespan.Round(10*time.Millisecond),
+				res.TotalJobCPU.Round(10*time.Millisecond))
+			fmt.Printf("           effective utilization: %.0f%%\n",
+				float64(res.TotalJobCPU)/float64(res.Makespan)*100)
+			return nil
+		}, sprite.ProcConfig{Binary: "/bin/pmake", CodePages: 8, HeapPages: 16, StackPages: 2})
+		if err != nil {
+			return err
+		}
+		if _, err := p.Exited().Wait(env); err != nil {
+			return err
+		}
+		if err := migd.Release(env, self.Host(), hosts); err != nil {
+			return err
+		}
+		fmt.Printf("[%8v] hosts released\n", env.Now())
+		return nil
+	})
+	if err := cluster.Run(0); err != nil {
+		return err
+	}
+	fmt.Printf("file server busy for %v; %d exec-time migrations\n",
+		cluster.Servers()[0].CPUBusy().Round(10*time.Millisecond),
+		len(cluster.MigrationRecords()))
+	return nil
+}

@@ -1,0 +1,111 @@
+// Quickstart: build a two-workstation Sprite cluster, run a process that
+// dirties memory and holds an open file, migrate it transparently to the
+// other host, and show that nothing observable changed for the process.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sprite"
+	"sprite/internal/fs"
+	"sprite/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := sprite.NewCluster(sprite.Options{Workstations: 2, FileServers: 1, Seed: 1})
+	if err != nil {
+		return err
+	}
+	if err := cluster.SeedBinary("/bin/prog", 128<<10); err != nil {
+		return err
+	}
+	src, dst := cluster.Workstation(0), cluster.Workstation(1)
+
+	cluster.Boot("boot", func(env *sim.Env) error {
+		p, err := src.StartProcess(env, "worker", func(ctx *sprite.Ctx) error {
+			pid, err := ctx.GetPID()
+			if err != nil {
+				return err
+			}
+			host, err := ctx.GetHostname()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("[%8v] pid %v starts on %v (hostname says %q)\n", ctx.Now(), pid, src.Host(), host)
+
+			// Write a log file and dirty some memory.
+			fd, err := ctx.Open("/log", fs.WriteMode, fs.OpenOptions{Create: true})
+			if err != nil {
+				return err
+			}
+			if _, err := ctx.Write(fd, []byte("written at home; ")); err != nil {
+				return err
+			}
+			if err := ctx.TouchHeap(0, 64, true); err != nil { // 512 KB dirty
+				return err
+			}
+			if err := ctx.Compute(200 * time.Millisecond); err != nil {
+				return err
+			}
+
+			fmt.Printf("[%8v] migrating to %v...\n", ctx.Now(), dst.Host())
+			if err := ctx.Migrate(dst.Host()); err != nil {
+				return err
+			}
+
+			// Same pid, same hostname, same open file — transparent.
+			pid2, err := ctx.GetPID()
+			if err != nil {
+				return err
+			}
+			host2, err := ctx.GetHostname()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("[%8v] now on %v; pid still %v, hostname still %q\n",
+				ctx.Now(), ctx.Process().Current().Host(), pid2, host2)
+			if _, err := ctx.Write(fd, []byte("written away from home")); err != nil {
+				return err
+			}
+			if err := ctx.Close(fd); err != nil {
+				return err
+			}
+			return ctx.Compute(200 * time.Millisecond)
+		}, sprite.ProcConfig{Binary: "/bin/prog", CodePages: 8, HeapPages: 64, StackPages: 2})
+		if err != nil {
+			return err
+		}
+		if _, err := p.Exited().Wait(env); err != nil {
+			return err
+		}
+
+		// Read the file from a third party to prove both writes landed.
+		data, err := dst.FSClient().ReadFile(env, "/log")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%8v] /log = %q\n", env.Now(), data)
+		return nil
+	})
+	if err := cluster.Run(0); err != nil {
+		return err
+	}
+
+	for _, rec := range cluster.MigrationRecords() {
+		fmt.Printf("migration %v -> %v: total=%v (vm=%v files=%v pcb=%v), %d streams, strategy=%s\n",
+			rec.From, rec.To, rec.Total.Round(100*time.Microsecond),
+			rec.VMTime.Round(100*time.Microsecond),
+			rec.FileTime.Round(100*time.Microsecond),
+			rec.PCBTime.Round(100*time.Microsecond),
+			rec.Files, rec.Strategy)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Facade API tests: lock down the public surface the examples and any
+// downstream user depend on.
+package sprite_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sprite"
+	"sprite/internal/experiments"
+	"sprite/internal/sim"
+)
+
+func TestFacadeErrorsMatch(t *testing.T) {
+	c := newFacadeCluster(t, 2, nil)
+	dst := c.Workstation(1)
+	var merr error
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := c.Workstation(0).StartProcess(env, "shared", func(ctx *sprite.Ctx) error {
+			ctx.Process().SetShared(true)
+			merr = ctx.Migrate(dst.Host())
+			return nil
+		}, sprite.ProcConfig{Binary: "/bin/prog", CodePages: 2, HeapPages: 4, StackPages: 1})
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(merr, sprite.ErrNotMigratable) {
+		t.Fatalf("err = %v, want facade ErrNotMigratable", merr)
+	}
+}
+
+func TestFacadeSyscallTableExposed(t *testing.T) {
+	if got := sprite.SyscallTable["gettimeofday"]; got != sprite.PolicyHome {
+		t.Fatalf("gettimeofday policy = %v", got)
+	}
+	if got := sprite.SyscallTable["read"]; got != sprite.PolicyFile {
+		t.Fatalf("read policy = %v", got)
+	}
+}
+
+func TestFacadeSignalsExposed(t *testing.T) {
+	c := newFacadeCluster(t, 1, nil)
+	k := c.Workstation(0)
+	caught := false
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := k.StartProcess(env, "sig", func(ctx *sprite.Ctx) error {
+			if err := ctx.SigVec(sprite.SigUser2, func(cc *sprite.Ctx, s sprite.Signal) error {
+				caught = true
+				return nil
+			}); err != nil {
+				return err
+			}
+			return ctx.Compute(2 * time.Second)
+		}, sprite.ProcConfig{Binary: "/bin/prog", CodePages: 2, HeapPages: 4, StackPages: 1})
+		if err != nil {
+			return err
+		}
+		if err := env.Sleep(time.Second); err != nil {
+			return err
+		}
+		sender, err := k.StartProcess(env, "send", func(ctx *sprite.Ctx) error {
+			return ctx.SendSignal(p.PID(), sprite.SigUser2)
+		}, sprite.ProcConfig{Binary: "/bin/prog", CodePages: 2, HeapPages: 4, StackPages: 1})
+		if err != nil {
+			return err
+		}
+		if _, err := sender.Exited().Wait(env); err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !caught {
+		t.Fatal("facade signal handler never ran")
+	}
+}
+
+func TestFacadeRejectsZeroWorkstations(t *testing.T) {
+	if _, err := sprite.NewCluster(sprite.Options{}); err == nil {
+		t.Fatal("expected error for zero workstations")
+	}
+}
+
+func TestConcurrentMigrationRequestsRejected(t *testing.T) {
+	c := newFacadeCluster(t, 3, nil)
+	d1, d2 := c.Workstation(1), c.Workstation(2)
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := c.Workstation(0).StartProcess(env, "busy", func(ctx *sprite.Ctx) error {
+			return ctx.Compute(5 * time.Second)
+		}, sprite.ProcConfig{Binary: "/bin/prog", CodePages: 2, HeapPages: 4, StackPages: 1})
+		if err != nil {
+			return err
+		}
+		first := c.Workstation(0).RequestMigration(p, d1, "a")
+		second := c.Workstation(0).RequestMigration(p, d2, "b")
+		if _, err := first.Wait(env); err != nil {
+			t.Errorf("first request failed: %v", err)
+		}
+		if _, err := second.Wait(env); !errors.Is(err, sprite.ErrNotMigratable) {
+			t.Errorf("second request err = %v, want ErrNotMigratable", err)
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableColumnsConsistent(t *testing.T) {
+	// Every experiment table row must have exactly len(Columns) cells.
+	for _, id := range []string{"E12", "E13"} {
+		r := experiments.Find(id)
+		tbl, err := r.Run(experiments.Config{Seed: 42, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, row := range tbl.Rows {
+			if len(row) != len(tbl.Columns) {
+				t.Errorf("%s row %d has %d cells, want %d", id, i, len(row), len(tbl.Columns))
+			}
+		}
+	}
+}

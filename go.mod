@@ -1,0 +1,3 @@
+module sprite
+
+go 1.22

@@ -1,0 +1,252 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/fs"
+	"sprite/internal/sim"
+)
+
+func newCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.Options{Workstations: 2, FileServers: 1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SeedBinary("/bin/job", 128<<10); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+var jobCfg = core.ProcConfig{Binary: "/bin/job", CodePages: 4, HeapPages: 64, StackPages: 2}
+
+// TestCheckpointRestartRoundTrip: a job computes half its work, checkpoints,
+// exits; a new process on another host restores and finishes exactly the
+// remaining work.
+func TestCheckpointRestartRoundTrip(t *testing.T) {
+	c := newCluster(t)
+	src, dst := c.Workstation(0), c.Workstation(1)
+	total := 2 * time.Second
+	var phase1CPU, phase2CPU time.Duration
+	var origPID, newPID core.PID
+	c.Boot("boot", func(env *sim.Env) error {
+		p1, err := src.StartProcess(env, "job", func(ctx *core.Ctx) error {
+			origPID = ctx.Process().PID()
+			if err := ctx.TouchHeap(0, 48, true); err != nil {
+				return err
+			}
+			if err := ctx.Compute(total / 2); err != nil {
+				return err
+			}
+			phase1CPU = ctx.Process().CPUUsed()
+			if _, err := Save(ctx, "/ckpt/job.img"); err != nil {
+				return err
+			}
+			return ctx.Exit(0)
+		}, jobCfg)
+		if err != nil {
+			return err
+		}
+		if _, err := p1.Exited().Wait(env); err != nil {
+			return err
+		}
+		// Restart elsewhere: a brand new process.
+		p2, err := dst.StartProcess(env, "job", func(ctx *core.Ctx) error {
+			newPID = ctx.Process().PID()
+			h, err := Restore(ctx, "/ckpt/job.img")
+			if err != nil {
+				return err
+			}
+			// The image carries how much work was done; finish the rest.
+			used := time.Duration(h.CPUUsedNanos)
+			if used < total/2 {
+				t.Errorf("image CPUUsed = %v, want >= %v", used, total/2)
+			}
+			if err := ctx.Compute(total / 2); err != nil {
+				return err
+			}
+			phase2CPU = ctx.Process().CPUUsed()
+			// Restored pages are resident: touching them faults nothing.
+			before := ctx.Process().Space().Stats().Faults
+			if err := ctx.TouchHeap(0, 48, false); err != nil {
+				return err
+			}
+			if got := ctx.Process().Space().Stats().Faults; got != before {
+				t.Errorf("restored pages faulted: %d new faults", got-before)
+			}
+			return nil
+		}, jobCfg)
+		if err != nil {
+			return err
+		}
+		_, err = p2.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if origPID == newPID {
+		t.Fatal("checkpoint/restart should produce a NEW pid (unlike migration)")
+	}
+	if newPID.Home != dst.Host() {
+		t.Fatalf("restarted process home = %v, want %v", newPID.Home, dst.Host())
+	}
+	if phase1CPU < total/2 || phase2CPU < total/2 {
+		t.Fatalf("phases too short: %v + %v", phase1CPU, phase2CPU)
+	}
+}
+
+// TestRestoreValidatesImage: garbage and size mismatches are rejected.
+func TestRestoreValidatesImage(t *testing.T) {
+	c := newCluster(t)
+	if err := c.Seed("/ckpt/garbage.img", []byte("not an image")); err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := c.Workstation(0).StartProcess(env, "job", func(ctx *core.Ctx) error {
+			_, gotErr = Restore(ctx, "/ckpt/garbage.img")
+			return nil
+		}, jobCfg)
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrBadImage) {
+		t.Fatalf("err = %v, want ErrBadImage", gotErr)
+	}
+}
+
+// TestRestoreSizeMismatch: restoring into a differently-sized image fails.
+func TestRestoreSizeMismatch(t *testing.T) {
+	c := newCluster(t)
+	var gotErr error
+	c.Boot("boot", func(env *sim.Env) error {
+		p1, err := c.Workstation(0).StartProcess(env, "small", func(ctx *core.Ctx) error {
+			if err := ctx.TouchHeap(0, 4, true); err != nil {
+				return err
+			}
+			_, err := Save(ctx, "/ckpt/small.img")
+			return err
+		}, core.ProcConfig{Binary: "/bin/job", CodePages: 4, HeapPages: 8, StackPages: 2})
+		if err != nil {
+			return err
+		}
+		if _, err := p1.Exited().Wait(env); err != nil {
+			return err
+		}
+		p2, err := c.Workstation(1).StartProcess(env, "big", func(ctx *core.Ctx) error {
+			_, gotErr = Restore(ctx, "/ckpt/small.img")
+			return nil
+		}, jobCfg)
+		if err != nil {
+			return err
+		}
+		_, err = p2.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrBadImage) {
+		t.Fatalf("err = %v, want ErrBadImage", gotErr)
+	}
+}
+
+// TestOpenFilesDoNotFollowCheckpoint documents the semantic gap the thesis
+// emphasizes: unlike migration, a restart loses open descriptors.
+func TestOpenFilesDoNotFollowCheckpoint(t *testing.T) {
+	c := newCluster(t)
+	if err := c.Seed("/data/f", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	var readErr error
+	c.Boot("boot", func(env *sim.Env) error {
+		p1, err := c.Workstation(0).StartProcess(env, "reader", func(ctx *core.Ctx) error {
+			fd, err := ctx.Open("/data/f", fs.ReadMode, fs.OpenOptions{})
+			if err != nil {
+				return err
+			}
+			if _, err := ctx.Read(fd, 5); err != nil {
+				return err
+			}
+			if _, err := Save(ctx, "/ckpt/reader.img"); err != nil {
+				return err
+			}
+			return ctx.Close(fd)
+		}, jobCfg)
+		if err != nil {
+			return err
+		}
+		if _, err := p1.Exited().Wait(env); err != nil {
+			return err
+		}
+		p2, err := c.Workstation(1).StartProcess(env, "reader2", func(ctx *core.Ctx) error {
+			if _, err := Restore(ctx, "/ckpt/reader.img"); err != nil {
+				return err
+			}
+			// The old fd does not exist in this process.
+			_, readErr = ctx.Read(0, 5)
+			return nil
+		}, jobCfg)
+		if err != nil {
+			return err
+		}
+		_, err = p2.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(readErr, core.ErrBadFD) {
+		t.Fatalf("read err = %v, want ErrBadFD (descriptors lost)", readErr)
+	}
+}
+
+// TestCheckpointMovesWholeResidentImage: the cost asymmetry vs Sprite's
+// flush — checkpoint writes all resident pages even when few are dirty.
+func TestCheckpointMovesWholeResidentImage(t *testing.T) {
+	c := newCluster(t)
+	var imageSize int
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := c.Workstation(0).StartProcess(env, "mostly-clean", func(ctx *core.Ctx) error {
+			// 48 resident pages, only 4 dirty.
+			if err := ctx.TouchHeap(0, 48, false); err != nil {
+				return err
+			}
+			if err := ctx.TouchHeap(0, 4, true); err != nil {
+				return err
+			}
+			if _, err := Save(ctx, "/ckpt/clean.img"); err != nil {
+				return err
+			}
+			size, err := ctx.Stat("/ckpt/clean.img")
+			if err != nil {
+				return err
+			}
+			imageSize = size
+			return nil
+		}, jobCfg)
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	pageSize := core.DefaultParams().VM.PageSize
+	if imageSize < 48*pageSize {
+		t.Fatalf("image = %d bytes, want >= 48 resident pages (%d)", imageSize, 48*pageSize)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sprite/internal/fs"
+	"sprite/internal/netsim"
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+)
+
+// Options configures a simulated Sprite cluster.
+type Options struct {
+	// Workstations is the number of diskless workstations (minimum 1).
+	Workstations int
+	// FileServers is the number of file servers (minimum 1). The first
+	// serves "/"; additional servers serve "/vol2", "/vol3", ...
+	FileServers int
+	// ServerPrefixes optionally overrides the domain served by each file
+	// server (index i configures server i). Longest prefix wins, so e.g.
+	// {"/", "/swap"} dedicates the second server to VM backing store.
+	ServerPrefixes []string
+	// Params carries every calibration constant (DefaultParams if zero).
+	Params *Params
+	// Seed seeds the simulation's deterministic random stream.
+	Seed int64
+}
+
+// Cluster is a simulated Sprite installation: a set of workstations and
+// file servers joined by one network, one RPC fabric, and one shared file
+// system.
+type Cluster struct {
+	sim       *sim.Simulation
+	params    Params
+	net       *netsim.Network
+	transport *rpc.Transport
+	fs        *fs.FS
+
+	kernels      map[rpc.HostID]*Kernel
+	workstations []*Kernel
+	servers      []*fs.Server
+
+	trace TraceFunc
+}
+
+// TraceFunc receives cluster events (migrations, evictions, process
+// lifecycle) as they happen in virtual time. See internal/trace for a
+// ready-made ring-buffer sink.
+type TraceFunc func(at time.Duration, kind, detail string)
+
+// SetTrace installs an event sink (nil disables tracing).
+func (c *Cluster) SetTrace(fn TraceFunc) { c.trace = fn }
+
+// emit records a trace event if a sink is installed.
+func (c *Cluster) emit(at time.Duration, kind, detail string) {
+	if c.trace != nil {
+		c.trace(at, kind, detail)
+	}
+}
+
+// NewCluster builds a cluster per the options.
+func NewCluster(opts Options) (*Cluster, error) {
+	if opts.Workstations < 1 {
+		return nil, fmt.Errorf("core: need at least one workstation, got %d", opts.Workstations)
+	}
+	if opts.FileServers < 1 {
+		opts.FileServers = 1
+	}
+	params := DefaultParams()
+	if opts.Params != nil {
+		params = *opts.Params
+	}
+	s := sim.New(opts.Seed)
+	net := netsim.New(s, params.Net)
+	transport := rpc.NewTransport(s, net, params.RPC)
+	fsys := fs.New(s, transport, params.FS)
+
+	c := &Cluster{
+		sim:       s,
+		params:    params,
+		net:       net,
+		transport: transport,
+		fs:        fsys,
+		kernels:   make(map[rpc.HostID]*Kernel),
+	}
+	for i := 0; i < opts.FileServers; i++ {
+		host := rpc.HostID(1 + i)
+		prefix := "/"
+		if i > 0 {
+			prefix = fmt.Sprintf("/vol%d", i+1)
+		}
+		if i < len(opts.ServerPrefixes) && opts.ServerPrefixes[i] != "" {
+			prefix = opts.ServerPrefixes[i]
+		}
+		c.servers = append(c.servers, fsys.AddServer(host, prefix))
+	}
+	for i := 0; i < opts.Workstations; i++ {
+		host := rpc.HostID(1 + opts.FileServers + i)
+		k := newKernel(c, host)
+		c.kernels[host] = k
+		c.workstations = append(c.workstations, k)
+	}
+	return c, nil
+}
+
+// Sim returns the underlying simulation.
+func (c *Cluster) Sim() *sim.Simulation { return c.sim }
+
+// Params returns the cluster's calibration constants.
+func (c *Cluster) Params() Params { return c.params }
+
+// FS returns the shared file system.
+func (c *Cluster) FS() *fs.FS { return c.fs }
+
+// Network returns the network model.
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// Transport returns the RPC fabric.
+func (c *Cluster) Transport() *rpc.Transport { return c.transport }
+
+// Workstations returns the workstation kernels in host order.
+func (c *Cluster) Workstations() []*Kernel {
+	out := make([]*Kernel, len(c.workstations))
+	copy(out, c.workstations)
+	return out
+}
+
+// Servers returns the file servers in host order.
+func (c *Cluster) Servers() []*fs.Server {
+	out := make([]*fs.Server, len(c.servers))
+	copy(out, c.servers)
+	return out
+}
+
+// Workstation returns the i-th workstation kernel (0-based).
+func (c *Cluster) Workstation(i int) *Kernel { return c.workstations[i] }
+
+// KernelOn returns the kernel running on the given host, or nil.
+func (c *Cluster) KernelOn(host rpc.HostID) *Kernel { return c.kernels[host] }
+
+// Run executes the simulation until no events remain or the time limit is
+// reached (limit <= 0 means unlimited).
+func (c *Cluster) Run(limit time.Duration) error { return c.sim.Run(limit) }
+
+// Stop aborts the simulation, unwinding every activity.
+func (c *Cluster) Stop() { c.sim.Stop() }
+
+// Boot spawns a driver activity at time zero. It is the usual way to inject
+// scenario code into the cluster.
+func (c *Cluster) Boot(name string, fn func(env *sim.Env) error) {
+	c.sim.Spawn(name, fn)
+}
+
+// Seed creates a file in the shared FS without charging virtual time
+// (scenario setup).
+func (c *Cluster) Seed(path string, data []byte) error {
+	_, err := c.fs.Seed(path, data, false)
+	return err
+}
+
+// SeedBinary seeds a program binary of the given size.
+func (c *Cluster) SeedBinary(path string, size int) error {
+	_, err := c.fs.SeedSized(path, size, false)
+	return err
+}
+
+// SetStrategyAll installs one VM transfer strategy on every workstation.
+func (c *Cluster) SetStrategyAll(s TransferStrategy) {
+	for _, k := range c.workstations {
+		k.SetStrategy(s)
+	}
+}
+
+// MigrationRecords gathers the migration records of every kernel.
+func (c *Cluster) MigrationRecords() []MigrationRecord {
+	var out []MigrationRecord
+	for _, k := range c.workstations {
+		out = append(out, k.MigrationRecords()...)
+	}
+	return out
+}
+
+// killPID routes a kill through the target's home machine.
+func (c *Cluster) killPID(env *sim.Env, via *Kernel, target PID) error {
+	homeK := c.kernels[target.Home]
+	if homeK == nil {
+		return fmt.Errorf("%w: %v", ErrNoSuchProcess, target)
+	}
+	if _, err := via.ep.Call(env, homeK.host, "k.kill", killArgs{PID: target}, 32); err != nil {
+		return err
+	}
+	return nil
+}

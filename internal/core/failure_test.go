@@ -1,0 +1,276 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+)
+
+// bigProc gives failure tests enough heap to make VM transfer interesting.
+var bigProc = ProcConfig{Binary: "/bin/prog", CodePages: 4, HeapPages: 32, StackPages: 2}
+
+// TestMigrationToDownHostAbortsCleanly: if the target is unreachable the
+// migration fails before any state moves, and the process keeps running at
+// the source (Charlotte-style abort-before-commit; Sprite's handshake gives
+// the same property).
+func TestMigrationToDownHostAbortsCleanly(t *testing.T) {
+	c := newCluster(t, 2)
+	src, dst := c.Workstation(0), c.Workstation(1)
+	c.Transport().Endpoint(dst.Host()).SetDown(true)
+	var merr error
+	var finishedOn rpc.HostID
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := src.StartProcess(env, "survivor", func(ctx *Ctx) error {
+			if err := ctx.TouchHeap(0, 8, true); err != nil {
+				return err
+			}
+			merr = ctx.Migrate(dst.Host())
+			// Life goes on at the source.
+			if err := ctx.Compute(50 * time.Millisecond); err != nil {
+				return err
+			}
+			finishedOn = ctx.Process().Current().Host()
+			return nil
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+	if !errors.Is(merr, rpc.ErrHostDown) {
+		t.Fatalf("migrate err = %v, want ErrHostDown", merr)
+	}
+	if finishedOn != src.Host() {
+		t.Fatalf("finished on %v, want source %v", finishedOn, src.Host())
+	}
+	if src.Stats().MigrationsOut != 0 {
+		t.Fatal("aborted migration was counted as completed")
+	}
+}
+
+// residualHarness runs: start on home, migrate home->A, migrate A->B, then
+// A crashes while the process tries to touch its memory on B. It returns
+// the error the process observed on that touch.
+func residualHarness(t *testing.T, strategy TransferStrategy) error {
+	t.Helper()
+	c := newCluster(t, 3)
+	c.SetStrategyAll(strategy)
+	home, hostA, hostB := c.Workstation(0), c.Workstation(1), c.Workstation(2)
+	var touchErr error
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := home.StartProcess(env, "wanderer", func(ctx *Ctx) error {
+			if err := ctx.TouchHeap(0, 32, true); err != nil {
+				return err
+			}
+			if err := ctx.Migrate(hostA.Host()); err != nil {
+				return err
+			}
+			// Re-touch on A so the pages live there (matters for COR).
+			if err := ctx.TouchHeap(0, 32, true); err != nil {
+				return err
+			}
+			if err := ctx.Migrate(hostB.Host()); err != nil {
+				return err
+			}
+			// A crashes: does the process still run?
+			c.Transport().Endpoint(hostA.Host()).SetDown(true)
+			touchErr = ctx.TouchHeap(0, 32, false)
+			return nil
+		}, bigProc)
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+	return touchErr
+}
+
+// TestResidualDependencyKillsCORProcess demonstrates the thesis's argument
+// against copy-on-reference: the migrated process depends on its last
+// source host for the rest of its life.
+func TestResidualDependencyKillsCORProcess(t *testing.T) {
+	err := residualHarness(t, CopyOnReferenceStrategy{})
+	if !errors.Is(err, rpc.ErrHostDown) {
+		t.Fatalf("touch err = %v, want ErrHostDown (residual dependency)", err)
+	}
+}
+
+// TestSpriteFlushSurvivesSourceCrash is the flip side: with the
+// backing-store flush, the process depends only on the file server, so the
+// source host's death is harmless.
+func TestSpriteFlushSurvivesSourceCrash(t *testing.T) {
+	if err := residualHarness(t, SpriteFlushStrategy{}); err != nil {
+		t.Fatalf("touch err = %v, want nil (no residual dependency)", err)
+	}
+}
+
+// TestFullCopySurvivesSourceCrash: full copy also leaves nothing behind.
+func TestFullCopySurvivesSourceCrash(t *testing.T) {
+	if err := residualHarness(t, FullCopyStrategy{}); err != nil {
+		t.Fatalf("touch err = %v, want nil (no residual dependency)", err)
+	}
+}
+
+// TestEvictionTargetPolicyReSelect: the eviction-destination ablation — an
+// installed policy sends evicted processes to another idle host instead of
+// home.
+func TestEvictionTargetPolicyReSelect(t *testing.T) {
+	c := newCluster(t, 3)
+	home, lent, spare := c.Workstation(0), c.Workstation(1), c.Workstation(2)
+	lent.SetEvictionTarget(func(env *sim.Env, p *Process) *Kernel {
+		return spare
+	})
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := home.StartProcess(env, "guest", func(ctx *Ctx) error {
+			if err := ctx.Migrate(lent.Host()); err != nil {
+				return err
+			}
+			return ctx.Compute(30 * time.Second)
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		if err := env.Sleep(time.Second); err != nil {
+			return err
+		}
+		if err := lent.EvictAll(env); err != nil {
+			return err
+		}
+		if p.Current() != spare {
+			t.Errorf("evicted to %v, want spare %v", p.Current().Host(), spare.Host())
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+}
+
+// TestDoubleMigrationTransparency: two hops later, pid, hostname, and home
+// forwarding still resolve to the home machine, and the home record tracks
+// the latest location.
+func TestDoubleMigrationTransparency(t *testing.T) {
+	c := newCluster(t, 3)
+	home, a, b := c.Workstation(0), c.Workstation(1), c.Workstation(2)
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := home.StartProcess(env, "hopper", func(ctx *Ctx) error {
+			if err := ctx.Migrate(a.Host()); err != nil {
+				return err
+			}
+			if err := ctx.Migrate(b.Host()); err != nil {
+				return err
+			}
+			host, err := ctx.GetHostname()
+			if err != nil {
+				return err
+			}
+			if host != home.Host().String() {
+				t.Errorf("hostname after two hops = %v, want home", host)
+			}
+			return ctx.Compute(time.Second)
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		if err := env.Sleep(500 * time.Millisecond); err != nil {
+			return err
+		}
+		loc, err := home.LocationOf(p.PID())
+		if err != nil {
+			return err
+		}
+		if loc != b.Host() {
+			t.Errorf("home record location = %v, want %v", loc, b.Host())
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+	if p := c.Workstation(1).Stats(); p.MigrationsIn != 1 || p.MigrationsOut != 1 {
+		t.Fatalf("intermediate host stats = %+v", p)
+	}
+}
+
+// TestMigrationBackHome: migrating home again clears the foreign state and
+// forwarding costs disappear.
+func TestMigrationBackHome(t *testing.T) {
+	c := newCluster(t, 2)
+	home, away := c.Workstation(0), c.Workstation(1)
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := home.StartProcess(env, "returner", func(ctx *Ctx) error {
+			if err := ctx.Migrate(away.Host()); err != nil {
+				return err
+			}
+			t0 := ctx.Now()
+			if _, err := ctx.GetTimeOfDay(); err != nil {
+				return err
+			}
+			awayCost := ctx.Now() - t0
+			if err := ctx.Migrate(home.Host()); err != nil {
+				return err
+			}
+			if ctx.Process().Foreign() {
+				t.Error("process still foreign after migrating home")
+			}
+			t0 = ctx.Now()
+			if _, err := ctx.GetTimeOfDay(); err != nil {
+				return err
+			}
+			homeCost := ctx.Now() - t0
+			if homeCost >= awayCost {
+				t.Errorf("home gettimeofday %v should be cheaper than away %v", homeCost, awayCost)
+			}
+			return nil
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+}
+
+// TestConcurrentMigrationsDoNotInterfere: several processes migrating at
+// once between disjoint host pairs all arrive intact.
+func TestConcurrentMigrationsDoNotInterfere(t *testing.T) {
+	c := newCluster(t, 6)
+	c.Boot("boot", func(env *sim.Env) error {
+		var procs []*Process
+		for i := 0; i < 3; i++ {
+			src, dst := c.Workstation(i), c.Workstation(3+i)
+			p, err := src.StartProcess(env, "mover", func(ctx *Ctx) error {
+				if err := ctx.TouchHeap(0, 16, true); err != nil {
+					return err
+				}
+				if err := ctx.Migrate(dst.Host()); err != nil {
+					return err
+				}
+				if ctx.Process().Current() != dst {
+					t.Errorf("landed on %v, want %v", ctx.Process().Current().Host(), dst.Host())
+				}
+				return ctx.TouchHeap(0, 16, false)
+			}, bigProc)
+			if err != nil {
+				return err
+			}
+			procs = append(procs, p)
+		}
+		for _, p := range procs {
+			if _, err := p.Exited().Wait(env); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	runCluster(t, c)
+	if got := len(c.MigrationRecords()); got != 3 {
+		t.Fatalf("migrations = %d, want 3", got)
+	}
+}

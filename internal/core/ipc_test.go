@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sprite/internal/sim"
+)
+
+// TestPipeSurvivesMigrationOfBothEnds: a producer/consumer pair connected
+// by a pipe keeps communicating while each end migrates — the thesis's IPC
+// transparency property (§3.2).
+func TestPipeSurvivesMigrationOfBothEnds(t *testing.T) {
+	c := newCluster(t, 4)
+	h0, h1, h2, h3 := c.Workstation(0), c.Workstation(1), c.Workstation(2), c.Workstation(3)
+	var received string
+	c.Boot("boot", func(env *sim.Env) error {
+		parent, err := h0.StartProcess(env, "pair", func(ctx *Ctx) error {
+			rfd, wfd, err := ctx.Pipe()
+			if err != nil {
+				return err
+			}
+			// Producer child: writes, migrates, writes again.
+			if _, err := ctx.Fork("producer", func(cc *Ctx) error {
+				if err := cc.Close(rfd); err != nil { // unused end
+					return err
+				}
+				if _, err := cc.Write(wfd, []byte("one ")); err != nil {
+					return err
+				}
+				if err := cc.Migrate(h1.Host()); err != nil {
+					return err
+				}
+				if _, err := cc.Write(wfd, []byte("two ")); err != nil {
+					return err
+				}
+				if err := cc.Migrate(h2.Host()); err != nil {
+					return err
+				}
+				if _, err := cc.Write(wfd, []byte("three")); err != nil {
+					return err
+				}
+				return cc.Close(wfd)
+			}, smallProc); err != nil {
+				return err
+			}
+			// Consumer child: reads across its own migration.
+			if _, err := ctx.Fork("consumer", func(cc *Ctx) error {
+				if err := cc.Close(wfd); err != nil { // unused end
+					return err
+				}
+				var got []byte
+				first := true
+				for {
+					data, err := cc.Read(rfd, 64)
+					if err != nil {
+						return err
+					}
+					if len(data) == 0 {
+						break
+					}
+					got = append(got, data...)
+					if first {
+						first = false
+						if err := cc.Migrate(h3.Host()); err != nil {
+							return err
+						}
+					}
+				}
+				received = string(got)
+				return cc.Close(rfd)
+			}, smallProc); err != nil {
+				return err
+			}
+			// Parent drops its own references so EOF can happen.
+			if err := ctx.Close(rfd); err != nil {
+				return err
+			}
+			if err := ctx.Close(wfd); err != nil {
+				return err
+			}
+			for i := 0; i < 2; i++ {
+				if _, _, err := ctx.Wait(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		_, err = parent.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+	if received != "one two three" {
+		t.Fatalf("received %q, want %q", received, "one two three")
+	}
+}
+
+// TestForwardAllBaselineSlowdown: under the Remote UNIX design every call
+// of a foreign process pays a trip home, so even location-independent calls
+// like getpid become RPC-priced — the §4.3.1 argument for Sprite's
+// selective forwarding.
+func TestForwardAllBaselineSlowdown(t *testing.T) {
+	measure := func(forwardAll bool) time.Duration {
+		c := newCluster(t, 2)
+		src, dst := c.Workstation(0), c.Workstation(1)
+		dst.SetForwardAll(forwardAll)
+		var elapsed time.Duration
+		c.Boot("boot", func(env *sim.Env) error {
+			p, err := src.StartProcess(env, "caller", func(ctx *Ctx) error {
+				if err := ctx.Migrate(dst.Host()); err != nil {
+					return err
+				}
+				t0 := ctx.Now()
+				for i := 0; i < 50; i++ {
+					if _, err := ctx.GetPID(); err != nil {
+						return err
+					}
+				}
+				elapsed = ctx.Now() - t0
+				return nil
+			}, smallProc)
+			if err != nil {
+				return err
+			}
+			_, err = p.Exited().Wait(env)
+			return err
+		})
+		runCluster(t, c)
+		return elapsed
+	}
+	selective := measure(false)
+	forwardAll := measure(true)
+	if forwardAll < 5*selective {
+		t.Fatalf("forward-all getpid loop %v should be >> selective %v", forwardAll, selective)
+	}
+}
+
+// TestForwardAllDoesNotDoubleChargeHomeCalls: a call that is already
+// home-forwarded costs the same under both regimes.
+func TestForwardAllDoesNotDoubleChargeHomeCalls(t *testing.T) {
+	measure := func(forwardAll bool) time.Duration {
+		c := newCluster(t, 2)
+		src, dst := c.Workstation(0), c.Workstation(1)
+		dst.SetForwardAll(forwardAll)
+		var elapsed time.Duration
+		c.Boot("boot", func(env *sim.Env) error {
+			p, err := src.StartProcess(env, "caller", func(ctx *Ctx) error {
+				if err := ctx.Migrate(dst.Host()); err != nil {
+					return err
+				}
+				t0 := ctx.Now()
+				for i := 0; i < 20; i++ {
+					if _, err := ctx.GetTimeOfDay(); err != nil {
+						return err
+					}
+				}
+				elapsed = ctx.Now() - t0
+				return nil
+			}, smallProc)
+			if err != nil {
+				return err
+			}
+			_, err = p.Exited().Wait(env)
+			return err
+		})
+		runCluster(t, c)
+		return elapsed
+	}
+	selective := measure(false)
+	forwardAll := measure(true)
+	if forwardAll != selective {
+		t.Fatalf("gettimeofday cost differs: selective %v vs forward-all %v", selective, forwardAll)
+	}
+}

@@ -1,0 +1,651 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sprite/internal/fs"
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+	"sprite/internal/vm"
+)
+
+// KernelStats counts migration-related kernel events.
+type KernelStats struct {
+	MigrationsOut  uint64
+	MigrationsIn   uint64
+	Evictions      uint64
+	ForwardedCalls uint64
+	RemoteExecs    uint64
+	ProcsStarted   uint64
+	ProcsExited    uint64
+}
+
+// homeRecord is the state a home kernel keeps for every process whose home
+// is this host — including processes currently running elsewhere. It is what
+// makes migration transparent: signals, waits, and ps-style queries resolve
+// here and are routed onward.
+type homeRecord struct {
+	pid      PID
+	proc     *Process
+	location rpc.HostID
+	parent   PID
+	children map[PID]bool
+	// exits queues exited-but-unwaited children of THIS process.
+	exits []childExit
+	// waiter is resolved when a child exit arrives while the process is
+	// blocked in Wait.
+	waiter *sim.Future
+}
+
+type childExit struct {
+	pid    PID
+	status int
+}
+
+// Kernel is one host's Sprite kernel: the process table, the migration
+// mechanism, and the forwarding target for the host's home processes.
+type Kernel struct {
+	cluster *Cluster
+	host    rpc.HostID
+	params  Params
+	cpu     *sim.CPU
+	fsc     *fs.Client
+	ep      *rpc.Endpoint
+
+	procs    map[PID]*Process // processes executing here now
+	homeRecs map[PID]*homeRecord
+	pidSeq   int
+
+	// migrationVersion guards against migrating between incompatible
+	// kernels (the thesis's antidote to migration fragility).
+	migrationVersion int
+	strategy         TransferStrategy
+
+	lastInput   time.Duration
+	records     []MigrationRecord
+	stats       KernelStats
+	evictTarget func(env *sim.Env, p *Process) *Kernel
+
+	// forwardAll, when set, forwards *every* kernel call of foreign
+	// processes to their home machines — the Remote UNIX design [Lit87]
+	// that the thesis argues against in §4.3.1. It exists as a baseline
+	// for the forwarding-cost comparison.
+	forwardAll bool
+}
+
+// SetForwardAll switches this kernel to the forward-everything baseline
+// for its foreign processes (Remote UNIX-style; see §4.3.1).
+func (k *Kernel) SetForwardAll(v bool) { k.forwardAll = v }
+
+func newKernel(c *Cluster, host rpc.HostID) *Kernel {
+	k := &Kernel{
+		cluster:          c,
+		host:             host,
+		params:           c.params,
+		cpu:              sim.NewCPU(c.sim, c.params.CPUQuantum),
+		fsc:              c.fs.AddClient(host),
+		ep:               c.transport.Register(host),
+		procs:            make(map[PID]*Process),
+		homeRecs:         make(map[PID]*homeRecord),
+		migrationVersion: 1,
+		strategy:         SpriteFlushStrategy{},
+	}
+	k.ep.Handle("k.forward", k.handleForward)
+	k.ep.Handle("k.migInit", k.handleMigInit)
+	k.ep.Handle("k.migPCB", k.handleMigPCB)
+	k.ep.Handle("k.updateLoc", k.handleUpdateLoc)
+	k.ep.Handle("k.exitNotify", k.handleExitNotify)
+	k.ep.Handle("k.kill", k.handleKill)
+	k.ep.Handle("k.kill2", k.handleKillLocal)
+	k.ep.Handle("k.killpg", k.handleKillpg)
+	k.ep.Handle("k.evict", k.handleEvict)
+	k.ep.Handle("k.fetchPage", k.handleFetchPage)
+	return k
+}
+
+// Host returns the kernel's host id.
+func (k *Kernel) Host() rpc.HostID { return k.host }
+
+// CPU returns the host's processor model.
+func (k *Kernel) CPU() *sim.CPU { return k.cpu }
+
+// FSClient returns the host's file system client.
+func (k *Kernel) FSClient() *fs.Client { return k.fsc }
+
+// Cluster returns the owning cluster.
+func (k *Kernel) Cluster() *Cluster { return k.cluster }
+
+// Stats returns a copy of the kernel's counters.
+func (k *Kernel) Stats() KernelStats { return k.stats }
+
+// MigrationRecords returns the detailed per-migration records collected at
+// this kernel (as migration source).
+func (k *Kernel) MigrationRecords() []MigrationRecord {
+	out := make([]MigrationRecord, len(k.records))
+	copy(out, k.records)
+	return out
+}
+
+// SetStrategy replaces the VM transfer strategy used for migrations that
+// leave this kernel.
+func (k *Kernel) SetStrategy(s TransferStrategy) { k.strategy = s }
+
+// SetMigrationVersion overrides the kernel's migration version (failure
+// injection for version-mismatch behaviour).
+func (k *Kernel) SetMigrationVersion(v int) { k.migrationVersion = v }
+
+// --- idle detection (Sprite's load daemon) ---
+
+// NoteInput records user input (keyboard/mouse) at the host.
+func (k *Kernel) NoteInput(now time.Duration) { k.lastInput = now }
+
+// LastInput returns the time of the most recent user input.
+func (k *Kernel) LastInput() time.Duration { return k.lastInput }
+
+// LoadAverage returns the host's smoothed runnable-process count.
+func (k *Kernel) LoadAverage(now time.Duration) float64 { return k.cpu.LoadAverage(now) }
+
+// Available reports whether the host would advertise itself as an idle
+// migration target: low load and no recent user input.
+func (k *Kernel) Available(now time.Duration) bool {
+	if k.cpu.LoadAverage(now) >= k.params.IdleLoadThreshold {
+		return false
+	}
+	return now-k.lastInput >= k.params.IdleInputAge
+}
+
+// --- process lifecycle ---
+
+// ProcConfig sizes a process image.
+type ProcConfig struct {
+	// Binary is the program file backing the code segment ("" for none).
+	Binary string
+	// CodePages, HeapPages, StackPages size the segments.
+	CodePages  int
+	HeapPages  int
+	StackPages int
+	// Args are the exec arguments (their size is charged on exec-time
+	// migration).
+	Args []string
+}
+
+// StartProcess launches a new top-level process on this host. Its home is
+// this kernel. The returned process runs in its own activity; use
+// Exited().Wait to join it.
+func (k *Kernel) StartProcess(env *sim.Env, name string, prog Program, cfg ProcConfig) (*Process, error) {
+	return k.startProcess(env, name, prog, cfg, nil)
+}
+
+func (k *Kernel) startProcess(env *sim.Env, name string, prog Program, cfg ProcConfig, parent *Process) (*Process, error) {
+	home := k
+	var parentPID PID
+	if parent != nil {
+		home = parent.home
+		parentPID = parent.pid
+	}
+	home.pidSeq++
+	pid := PID{Home: home.host, Seq: home.pidSeq}
+	pgrp := pid // a top-level process leads its own group
+	if parent != nil {
+		pgrp = parent.pgrp
+	}
+	p := &Process{
+		pid:       pid,
+		pgrp:      pgrp,
+		name:      name,
+		state:     StateRunning,
+		parent:    parentPID,
+		home:      home,
+		cur:       k,
+		program:   prog,
+		args:      cfg.Args,
+		exited:    sim.NewFuture(k.cluster.sim),
+		evictable: true,
+		created:   env.Now(),
+	}
+	// Fork semantics: the child inherits the working directory and the
+	// signal dispositions...
+	if parent != nil {
+		p.cwd = parent.cwd
+		if len(parent.handlers) > 0 {
+			p.handlers = make(map[Signal]SignalHandler, len(parent.handlers))
+			for s, h := range parent.handlers {
+				p.handlers[s] = h
+			}
+		}
+	}
+	// ...and the descriptor table; each inherited entry shares the stream
+	// (and its access position).
+	if parent != nil && len(parent.files) > 0 {
+		p.files = make([]*fs.Stream, len(parent.files))
+		for fd, st := range parent.files {
+			if st == nil {
+				continue
+			}
+			if err := k.fsc.Dup(st); err != nil {
+				return nil, fmt.Errorf("fork: dup fd %d: %w", fd, err)
+			}
+			p.files[fd] = st
+		}
+	}
+	rec := &homeRecord{
+		pid:      pid,
+		proc:     p,
+		location: k.host,
+		parent:   parentPID,
+		children: make(map[PID]bool),
+	}
+	home.homeRecs[pid] = rec
+	if parent != nil {
+		if prec := home.homeRecs[parentPID]; prec != nil {
+			prec.children[pid] = true
+		}
+	}
+	k.procs[pid] = p
+	k.stats.ProcsStarted++
+	k.cluster.emit(env.Now(), "proc-start", fmt.Sprintf("%v %s on %v", pid, name, k.host))
+
+	env.Spawn(fmt.Sprintf("proc-%v-%s", pid, name), func(penv *sim.Env) error {
+		return k.runProcess(penv, p, cfg)
+	})
+	return p, nil
+}
+
+// runProcess is the body of a process activity: build the image, run the
+// program, tear down.
+func (k *Kernel) runProcess(env *sim.Env, p *Process, cfg ProcConfig) error {
+	ctx := &Ctx{proc: p, env: env}
+	if err := p.buildSpace(env, p.name, cfg); err != nil {
+		p.finishExit(env, -1)
+		return fmt.Errorf("proc %v: build space: %w", p.pid, err)
+	}
+	err := p.program(ctx)
+	if err == errExit {
+		err = nil
+	}
+	if err == ErrKilled {
+		p.exitStatus = -1
+		err = nil
+	}
+	if err != nil {
+		p.finishExit(env, -1)
+		return fmt.Errorf("proc %v (%s): %w", p.pid, p.name, err)
+	}
+	return p.exitCleanup(env)
+}
+
+// buildSpace creates the process's address space on its current host.
+func (p *Process) buildSpace(env *sim.Env, name string, cfg ProcConfig) error {
+	vmName := fmt.Sprintf("%v-%s", p.pid, name)
+	space, err := vm.New(env, p.cur.fsc, vmName, vm.Config{
+		CodePages:  cfg.CodePages,
+		HeapPages:  cfg.HeapPages,
+		StackPages: cfg.StackPages,
+		BinaryPath: cfg.Binary,
+	}, p.cur.params.VM)
+	if err != nil {
+		return err
+	}
+	space.SetCPU(func(e *sim.Env, d time.Duration) error {
+		p.cpuUsed += d
+		return p.cur.cpu.Compute(e, d)
+	})
+	space.SetPagerAll(&vm.FilePager{Client: p.cur.fsc})
+	p.space = space
+	return nil
+}
+
+// discardSpace closes the address space's backing streams and removes its
+// swap files.
+func (p *Process) discardSpace(env *sim.Env) error {
+	if p.space == nil {
+		return nil
+	}
+	c := p.cur.fsc
+	for _, seg := range p.space.Segments() {
+		st := seg.Backing
+		if st == nil {
+			continue
+		}
+		path := st.Path
+		for st.RefsOn(c.Host()) > 0 {
+			if err := c.Close(env, st); err != nil {
+				return err
+			}
+		}
+		if seg.Kind != vm.CodeSegment {
+			if err := c.Remove(env, path); err != nil {
+				return err
+			}
+		}
+	}
+	p.space = nil
+	return nil
+}
+
+// exitCleanup performs orderly process teardown: close descriptors, discard
+// the address space, notify home, wake the parent.
+func (p *Process) exitCleanup(env *sim.Env) error {
+	k := p.cur
+	for fd, st := range p.files {
+		if st == nil {
+			continue
+		}
+		p.files[fd] = nil
+		if err := k.fsc.Close(env, st); err != nil {
+			return fmt.Errorf("proc %v: close fd %d: %w", p.pid, fd, err)
+		}
+	}
+	if err := p.discardSpace(env); err != nil {
+		return fmt.Errorf("proc %v: discard space: %w", p.pid, err)
+	}
+	if d := k.params.ExitCPU; d > 0 {
+		if err := k.cpu.Compute(env, d); err != nil {
+			return err
+		}
+	}
+	if p.Foreign() {
+		if _, err := k.ep.Call(env, p.home.host, "k.exitNotify", exitNotifyArgs{
+			PID: p.pid, Status: p.exitStatus,
+		}, 32); err != nil {
+			return fmt.Errorf("proc %v: exit notify: %w", p.pid, err)
+		}
+	}
+	p.finishExit(env, p.exitStatus)
+	return nil
+}
+
+// finishExit updates tables and resolves futures; it charges no time.
+func (p *Process) finishExit(env *sim.Env, status int) {
+	k := p.cur
+	delete(k.procs, p.pid)
+	k.stats.ProcsExited++
+	k.cluster.emit(env.Now(), "proc-exit", fmt.Sprintf("%v %s status=%d on %v", p.pid, p.name, status, k.host))
+	p.state = StateExited
+	p.exitStatus = status
+	p.home.recordExit(p.pid, status)
+	if req := p.migrateReq; req != nil {
+		p.migrateReq = nil
+		req.done.Complete(nil, fmt.Errorf("%w: exited before migration", ErrNoSuchProcess))
+	}
+	p.exited.Complete(status, nil)
+}
+
+// recordExit runs at the home kernel: detach the record and queue the exit
+// for the parent's Wait.
+func (k *Kernel) recordExit(pid PID, status int) {
+	rec := k.homeRecs[pid]
+	if rec == nil {
+		return
+	}
+	delete(k.homeRecs, pid)
+	prec := k.homeRecs[rec.parent]
+	if prec == nil {
+		return // orphan: no one will wait
+	}
+	delete(prec.children, pid)
+	prec.exits = append(prec.exits, childExit{pid: pid, status: status})
+	if prec.waiter != nil {
+		w := prec.waiter
+		prec.waiter = nil
+		w.Complete(nil, nil)
+	}
+}
+
+// waitChild implements Wait at the home kernel.
+func (k *Kernel) waitChild(env *sim.Env, parent PID) (PID, int, error) {
+	for {
+		rec := k.homeRecs[parent]
+		if rec == nil {
+			return NilPID, 0, fmt.Errorf("%w: %v", ErrNoSuchProcess, parent)
+		}
+		if len(rec.exits) > 0 {
+			ce := rec.exits[0]
+			rec.exits = rec.exits[1:]
+			return ce.pid, ce.status, nil
+		}
+		if len(rec.children) == 0 {
+			return NilPID, 0, ErrNoChildren
+		}
+		rec.waiter = sim.NewFuture(k.cluster.sim)
+		if _, err := rec.waiter.Wait(env); err != nil {
+			return NilPID, 0, err
+		}
+	}
+}
+
+// Processes returns the processes currently executing on this host.
+func (k *Kernel) Processes() []*Process {
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		out = append(out, p)
+	}
+	sortProcs(out)
+	return out
+}
+
+// ForeignProcesses returns the processes executing here whose home is
+// elsewhere.
+func (k *Kernel) ForeignProcesses() []*Process {
+	var out []*Process
+	for _, p := range k.procs {
+		if p.Foreign() {
+			out = append(out, p)
+		}
+	}
+	sortProcs(out)
+	return out
+}
+
+// HomeProcessCount returns the number of live processes whose home is this
+// host (wherever they run) — what Sprite's ps shows on the home machine.
+func (k *Kernel) HomeProcessCount() int { return len(k.homeRecs) }
+
+// ProcessListing is one row of the home machine's ps output.
+type ProcessListing struct {
+	PID      PID
+	Name     string
+	State    ProcessState
+	Location rpc.HostID
+	Foreign  bool
+	CPUUsed  time.Duration
+}
+
+// ListHomeProcesses returns ps-style rows for every live process whose
+// home is this host, wherever each currently runs. Migration transparency
+// means a user's processes always appear on their own machine's listing,
+// never on the hosts actually running them (contrast LOCUS, where remote
+// processes show up in the remote site's listing).
+func (k *Kernel) ListHomeProcesses() []ProcessListing {
+	out := make([]ProcessListing, 0, len(k.homeRecs))
+	for _, rec := range k.homeRecs {
+		p := rec.proc
+		out = append(out, ProcessListing{
+			PID:      p.pid,
+			Name:     p.name,
+			State:    p.state,
+			Location: rec.location,
+			Foreign:  rec.location != k.host,
+			CPUUsed:  p.cpuUsed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i].PID, out[j].PID) })
+	return out
+}
+
+// LocationOf returns where a home process currently runs.
+func (k *Kernel) LocationOf(pid PID) (rpc.HostID, error) {
+	rec := k.homeRecs[pid]
+	if rec == nil {
+		return rpc.NoHost, fmt.Errorf("%w: %v", ErrNoSuchProcess, pid)
+	}
+	return rec.location, nil
+}
+
+func sortProcs(ps []*Process) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && less(ps[j].pid, ps[j-1].pid); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func less(a, b PID) bool {
+	if a.Home != b.Home {
+		return a.Home < b.Home
+	}
+	return a.Seq < b.Seq
+}
+
+// --- RPC wire types and handlers ---
+
+type (
+	migInitArgs struct {
+		PID     PID
+		Version int
+	}
+	migPCBArgs struct {
+		PID  PID
+		Proc *Process
+	}
+	updateLocArgs struct {
+		PID PID
+		Loc rpc.HostID
+	}
+	exitNotifyArgs struct {
+		PID    PID
+		Status int
+	}
+	killArgs struct {
+		PID PID
+		// Sig selects the signal; the zero value means SIGKILL for
+		// compatibility with plain kill.
+		Sig Signal
+	}
+	fetchPageArgs struct {
+		PID  PID
+		Page int
+	}
+)
+
+func (k *Kernel) handleForward(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+	if _, ok := arg.(forwardArgs); !ok {
+		return nil, 0, fmt.Errorf("k.forward: bad args %T", arg)
+	}
+	// The forwarded call's home-side work is modeled as one kernel-call
+	// dispatch on the home CPU.
+	if err := k.cpu.Compute(env, k.params.SyscallCPU); err != nil {
+		return nil, 0, err
+	}
+	return nil, 32, nil
+}
+
+func (k *Kernel) handleMigInit(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+	a, ok := arg.(migInitArgs)
+	if !ok {
+		return nil, 0, fmt.Errorf("k.migInit: bad args %T", arg)
+	}
+	if a.Version != k.migrationVersion {
+		return nil, 0, fmt.Errorf("%w: source %d, target %d", ErrVersionMismatch, a.Version, k.migrationVersion)
+	}
+	if err := k.cpu.Compute(env, k.params.MigInitCPU); err != nil {
+		return nil, 0, err
+	}
+	return nil, 16, nil
+}
+
+func (k *Kernel) handleMigPCB(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+	a, ok := arg.(migPCBArgs)
+	if !ok {
+		return nil, 0, fmt.Errorf("k.migPCB: bad args %T", arg)
+	}
+	if err := k.cpu.Compute(env, k.params.MigPCBCPU); err != nil {
+		return nil, 0, err
+	}
+	k.procs[a.PID] = a.Proc
+	k.stats.MigrationsIn++
+	return nil, 16, nil
+}
+
+func (k *Kernel) handleUpdateLoc(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+	a, ok := arg.(updateLocArgs)
+	if !ok {
+		return nil, 0, fmt.Errorf("k.updateLoc: bad args %T", arg)
+	}
+	if rec := k.homeRecs[a.PID]; rec != nil {
+		rec.location = a.Loc
+	}
+	return nil, 8, nil
+}
+
+func (k *Kernel) handleExitNotify(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+	if _, ok := arg.(exitNotifyArgs); !ok {
+		return nil, 0, fmt.Errorf("k.exitNotify: bad args %T", arg)
+	}
+	// Bookkeeping only; recordExit is invoked by finishExit on the process
+	// side (shared memory in the simulator), so here we just charge cost.
+	if err := k.cpu.Compute(env, k.params.SyscallCPU); err != nil {
+		return nil, 0, err
+	}
+	return nil, 8, nil
+}
+
+func (k *Kernel) handleKill(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+	a, ok := arg.(killArgs)
+	if !ok {
+		return nil, 0, fmt.Errorf("k.kill: bad args %T", arg)
+	}
+	rec := k.homeRecs[a.PID]
+	if rec == nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrNoSuchProcess, a.PID)
+	}
+	if rec.location != k.host {
+		// Route onward to the process's current location.
+		if _, err := k.ep.Call(env, rec.location, "k.kill2", a, 16); err != nil {
+			return nil, 0, err
+		}
+		return nil, 8, nil
+	}
+	rec.proc.post(normalizeSig(a.Sig))
+	return nil, 8, nil
+}
+
+// normalizeSig maps the zero value to SIGKILL (the plain-kill wire format).
+func normalizeSig(s Signal) Signal {
+	if s == 0 {
+		return SigKill
+	}
+	return s
+}
+
+// handleKillLocal delivers a routed kill at the process's current location.
+func (k *Kernel) handleKillLocal(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+	a, ok := arg.(killArgs)
+	if !ok {
+		return nil, 0, fmt.Errorf("k.kill2: bad args %T", arg)
+	}
+	if err := k.routeSignalLocal(a.PID, normalizeSig(a.Sig)); err != nil {
+		return nil, 0, err
+	}
+	return nil, 8, nil
+}
+
+func (k *Kernel) handleEvict(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+	if err := k.EvictAll(env); err != nil {
+		return nil, 0, err
+	}
+	return nil, 8, nil
+}
+
+// handleFetchPage serves copy-on-reference pulls from this (source) host.
+func (k *Kernel) handleFetchPage(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+	if _, ok := arg.(fetchPageArgs); !ok {
+		return nil, 0, fmt.Errorf("k.fetchPage: bad args %T", arg)
+	}
+	if err := k.cpu.Compute(env, k.params.VM.FaultCPU); err != nil {
+		return nil, 0, err
+	}
+	return nil, k.params.VM.PageSize + k.params.PageWireOverhead, nil
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+	"sprite/internal/vm"
+)
+
+// MigrationRecord documents one completed migration, component by
+// component — the breakdown the thesis's performance chapter tabulates.
+type MigrationRecord struct {
+	PID    PID
+	From   rpc.HostID
+	To     rpc.HostID
+	Reason string
+	Start  time.Duration
+
+	// Total is wall time of the whole migration; Freeze is the part during
+	// which the process could not execute anywhere (for pre-copy they
+	// differ).
+	Total  time.Duration
+	Freeze time.Duration
+
+	// VMTime, FileTime, PCBTime decompose Total.
+	VMTime   time.Duration
+	FileTime time.Duration
+	PCBTime  time.Duration
+
+	// VMBytes counts bytes moved at migration time (flush or direct copy).
+	VMBytes int
+	// PagesFlushed / PagesCopied detail the VM strategy's work.
+	PagesFlushed int
+	PagesCopied  int
+	// Files is the number of open streams transferred.
+	Files int
+	// ExecTime marks an exec-time migration (no VM transfer).
+	ExecTime bool
+	// Residual marks a residual dependency left on the source host.
+	Residual bool
+	// Strategy names the VM transfer strategy used.
+	Strategy string
+}
+
+// RequestMigration asks for p to migrate to target at its next migration
+// point. The returned future resolves to the new host id (or an error). A
+// process using shared writable memory refuses, as in Sprite.
+func (k *Kernel) RequestMigration(p *Process, target *Kernel, reason string) *sim.Future {
+	done := sim.NewFuture(k.cluster.sim)
+	switch {
+	case p.state == StateExited:
+		done.Complete(nil, fmt.Errorf("%w: %v", ErrNoSuchProcess, p.pid))
+	case p.sharedMemory:
+		done.Complete(nil, fmt.Errorf("%w: %v uses shared writable memory", ErrNotMigratable, p.pid))
+	case p.migrateReq != nil:
+		done.Complete(nil, fmt.Errorf("%w: %v migration already pending", ErrNotMigratable, p.pid))
+	case target == p.cur:
+		done.Complete(target.host, nil)
+	default:
+		p.migrateReq = &migrationRequest{target: target, reason: reason, done: done}
+	}
+	return done
+}
+
+// RequestExecMigration marks p to migrate to target at its next exec — the
+// cheap remote-invocation path (no VM transfer).
+func (k *Kernel) RequestExecMigration(p *Process, target *Kernel, reason string) *sim.Future {
+	done := sim.NewFuture(k.cluster.sim)
+	switch {
+	case p.state == StateExited:
+		done.Complete(nil, fmt.Errorf("%w: %v", ErrNoSuchProcess, p.pid))
+	case p.migrateReq != nil:
+		done.Complete(nil, fmt.Errorf("%w: %v migration already pending", ErrNotMigratable, p.pid))
+	default:
+		p.migrateReq = &migrationRequest{target: target, reason: reason, done: done, atExec: true}
+	}
+	return done
+}
+
+// migrateNow validates and performs a migration inline, in p's own activity
+// (used by the explicit migrate call, which is itself a migration point).
+func (k *Kernel) migrateNow(env *sim.Env, p *Process, target *Kernel, reason string) error {
+	switch {
+	case p.state == StateExited:
+		return fmt.Errorf("%w: %v", ErrNoSuchProcess, p.pid)
+	case p.sharedMemory:
+		return fmt.Errorf("%w: %v uses shared writable memory", ErrNotMigratable, p.pid)
+	case p.migrateReq != nil:
+		return fmt.Errorf("%w: %v migration already pending", ErrNotMigratable, p.pid)
+	case target == p.cur:
+		return nil
+	}
+	return k.migrateSelf(env, p, &migrationRequest{target: target, reason: reason})
+}
+
+// migrateSelf performs a full migration of p from this kernel to
+// req.target, executed in p's own activity at a migration point. The order
+// follows the thesis: negotiate, transfer virtual memory, transfer open
+// streams (with I/O server coordination), transfer the PCB, update the home
+// machine, resume on the target.
+func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) error {
+	target := req.target
+	if target == k {
+		return nil
+	}
+	rec := MigrationRecord{
+		PID:      p.pid,
+		From:     k.host,
+		To:       target.host,
+		Reason:   req.reason,
+		Start:    env.Now(),
+		Strategy: k.strategy.Name(),
+	}
+	p.state = StateMigrating
+	t0 := env.Now()
+
+	// 1. Handshake: version check and skeleton allocation at the target.
+	if err := k.migInit(env, p, target); err != nil {
+		p.state = StateRunning
+		return err
+	}
+
+	// 2. Virtual memory, per the configured strategy.
+	tVM := env.Now()
+	if err := k.strategy.Transfer(env, k, target, p, &rec); err != nil {
+		p.state = StateRunning
+		return fmt.Errorf("vm transfer: %w", err)
+	}
+	rec.VMTime = env.Now() - tVM
+
+	// 3. Open streams, coordinated with each I/O server.
+	tF := env.Now()
+	if err := k.transferStreams(env, p, target, &rec); err != nil {
+		p.state = StateRunning
+		return fmt.Errorf("stream transfer: %w", err)
+	}
+	rec.FileTime = env.Now() - tF
+
+	// 4. PCB and residual untyped state.
+	tP := env.Now()
+	if err := k.transferPCB(env, p, target); err != nil {
+		p.state = StateRunning
+		return fmt.Errorf("pcb transfer: %w", err)
+	}
+	rec.PCBTime = env.Now() - tP
+
+	// 5. Tell the home machine where the process now lives.
+	if p.home != target {
+		if _, err := k.ep.Call(env, p.home.host, "k.updateLoc", updateLocArgs{
+			PID: p.pid, Loc: target.host,
+		}, 32); err != nil {
+			return fmt.Errorf("update home: %w", err)
+		}
+	} else if hr := p.home.homeRecs[p.pid]; hr != nil {
+		hr.location = target.host
+	}
+
+	// 6. Switch the process over and resume.
+	delete(k.procs, p.pid)
+	k.stats.MigrationsOut++
+	p.cur = target
+	p.migrations++
+	p.state = StateRunning
+	if p.space != nil {
+		p.space.SetPagerAll(k.strategy.TargetPager(k, target))
+	}
+
+	rec.Total = env.Now() - t0
+	if rec.Freeze == 0 {
+		rec.Freeze = rec.Total
+	} else {
+		// A strategy that set its own freeze (pre-copy) froze the process
+		// only for its final pass; stream and PCB transfer freeze it too.
+		rec.Freeze += rec.FileTime + rec.PCBTime
+	}
+	k.records = append(k.records, rec)
+	k.cluster.emit(env.Now(), "migration",
+		fmt.Sprintf("%v %v->%v (%s, %s) total=%v vm=%dB files=%d",
+			p.pid, rec.From, rec.To, rec.Reason, rec.Strategy, rec.Total, rec.VMBytes, rec.Files))
+	return nil
+}
+
+// migrateForExec performs the exec-time variant: no VM transfer at all; the
+// new image is built on the target. Only streams, PCB, and the exec
+// arguments move.
+func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest) error {
+	target := req.target
+	if target == k {
+		return nil
+	}
+	rec := MigrationRecord{
+		PID:      p.pid,
+		From:     k.host,
+		To:       target.host,
+		Reason:   req.reason,
+		Start:    env.Now(),
+		ExecTime: true,
+		Strategy: "exec-time",
+	}
+	p.state = StateMigrating
+	t0 := env.Now()
+	if err := k.migInit(env, p, target); err != nil {
+		p.state = StateRunning
+		return err
+	}
+	// Discard the old image here; nothing of it moves.
+	if err := p.discardSpace(env); err != nil {
+		p.state = StateRunning
+		return err
+	}
+	tF := env.Now()
+	if err := k.transferStreams(env, p, target, &rec); err != nil {
+		p.state = StateRunning
+		return fmt.Errorf("stream transfer: %w", err)
+	}
+	rec.FileTime = env.Now() - tF
+	tP := env.Now()
+	if err := k.transferPCB(env, p, target); err != nil {
+		p.state = StateRunning
+		return fmt.Errorf("pcb transfer: %w", err)
+	}
+	// Exec arguments ride along with the PCB.
+	argBytes := 0
+	for _, a := range p.args {
+		argBytes += len(a)
+	}
+	if argBytes > 0 {
+		if err := k.cluster.net.Send(env, argBytes); err != nil {
+			return err
+		}
+	}
+	rec.PCBTime = env.Now() - tP
+	if p.home != target {
+		if _, err := k.ep.Call(env, p.home.host, "k.updateLoc", updateLocArgs{
+			PID: p.pid, Loc: target.host,
+		}, 32); err != nil {
+			return fmt.Errorf("update home: %w", err)
+		}
+	} else if hr := p.home.homeRecs[p.pid]; hr != nil {
+		hr.location = target.host
+	}
+	delete(k.procs, p.pid)
+	k.stats.MigrationsOut++
+	k.stats.RemoteExecs++
+	p.cur = target
+	p.migrations++
+	p.state = StateRunning
+	rec.Total = env.Now() - t0
+	rec.Freeze = rec.Total
+	k.records = append(k.records, rec)
+	k.cluster.emit(env.Now(), "exec-migration",
+		fmt.Sprintf("%v %v->%v (%s) total=%v", p.pid, rec.From, rec.To, rec.Reason, rec.Total))
+	return nil
+}
+
+func (k *Kernel) migInit(env *sim.Env, p *Process, target *Kernel) error {
+	if err := k.cpu.Compute(env, k.params.MigInitCPU); err != nil {
+		return err
+	}
+	if _, err := k.ep.Call(env, target.host, "k.migInit", migInitArgs{
+		PID: p.pid, Version: k.migrationVersion,
+	}, k.params.MigInitBytes); err != nil {
+		return fmt.Errorf("migration handshake: %w", err)
+	}
+	return nil
+}
+
+// transferStreams moves every open stream (including VM backing streams) to
+// the target host, with per-file kernel bookkeeping cost on top of the I/O
+// server coordination performed by the file system.
+func (k *Kernel) transferStreams(env *sim.Env, p *Process, target *Kernel, rec *MigrationRecord) error {
+	streams := p.openStreams()
+	if p.space != nil {
+		for _, seg := range p.space.Segments() {
+			if seg.Backing != nil {
+				streams = append(streams, seg.Backing)
+			}
+		}
+	}
+	for _, st := range streams {
+		if err := k.cpu.Compute(env, k.params.MigPerFileCPU); err != nil {
+			return err
+		}
+		if err := k.fsc.MoveStream(env, st, target.host); err != nil {
+			return fmt.Errorf("move %s: %w", st.Path, err)
+		}
+		rec.Files++
+	}
+	return nil
+}
+
+// transferPCB ships the process control block and installs the process in
+// the target's tables.
+func (k *Kernel) transferPCB(env *sim.Env, p *Process, target *Kernel) error {
+	if err := k.cpu.Compute(env, k.params.MigPCBCPU); err != nil {
+		return err
+	}
+	if _, err := k.ep.Call(env, target.host, "k.migPCB", migPCBArgs{
+		PID: p.pid, Proc: p,
+	}, k.params.MigPCBBytes); err != nil {
+		return fmt.Errorf("pcb transfer: %w", err)
+	}
+	return nil
+}
+
+// EvictAll migrates every evictable foreign process off this host and
+// waits for the evictions to complete. Sprite triggers this when a
+// workstation's owner returns. The destination is the process's home
+// machine unless an eviction target policy is installed (the re-select
+// ablation).
+func (k *Kernel) EvictAll(env *sim.Env) error {
+	var waits []*sim.Future
+	for _, p := range k.ForeignProcesses() {
+		if !p.evictable || p.state == StateExited {
+			continue
+		}
+		target := p.home
+		if k.evictTarget != nil {
+			if t := k.evictTarget(env, p); t != nil && t != k {
+				target = t
+			}
+		}
+		waits = append(waits, k.RequestMigration(p, target, "eviction"))
+		k.stats.Evictions++
+		k.cluster.emit(env.Now(), "eviction", fmt.Sprintf("%v evicted from %v to %v", p.pid, k.host, target.host))
+	}
+	for _, w := range waits {
+		if _, err := w.Wait(env); err != nil {
+			// A process that exits before reaching its migration point
+			// has vacated the host on its own; that is a successful
+			// eviction, not a failure.
+			if errors.Is(err, ErrNoSuchProcess) {
+				continue
+			}
+			return fmt.Errorf("eviction: %w", err)
+		}
+	}
+	return nil
+}
+
+// SetEvictionTarget installs a policy choosing where evicted processes go
+// (nil, the default, evicts home as Sprite does; returning nil from the
+// policy also falls back to home).
+func (k *Kernel) SetEvictionTarget(f func(env *sim.Env, p *Process) *Kernel) {
+	k.evictTarget = f
+}
+
+// --- remote exec convenience (the pmake path) ---
+
+// ForkRemoteExec forks a child that immediately execs `name` on the target
+// host: fork locally, migrate at exec time (no VM transfer), then build the
+// new image remotely. This is how pmake and other load-sharing applications
+// use migration in Sprite.
+func (c *Ctx) ForkRemoteExec(name string, prog Program, cfg ProcConfig, target rpc.HostID) (*Process, error) {
+	tk := c.proc.cur.cluster.KernelOn(target)
+	if tk == nil {
+		return nil, fmt.Errorf("%w: %v", rpc.ErrNoHost, target)
+	}
+	trampoline := func(cc *Ctx) error {
+		return cc.Exec(name, prog, cfg)
+	}
+	child, err := c.Fork(name, trampoline, ProcConfig{})
+	if err != nil {
+		return nil, err
+	}
+	// Pend the exec-time migration before the child reaches its exec.
+	c.proc.cur.RequestExecMigration(child, tk, "remote-exec")
+	return child, nil
+}
+
+// corPager satisfies post-migration faults by pulling pages from the source
+// host (Accent/Zayas copy-on-reference).
+type corPager struct {
+	src *Kernel
+	dst *Kernel
+	pid PID
+}
+
+var _ vm.Pager = (*corPager)(nil)
+
+func (p *corPager) PageIn(env *sim.Env, seg *vm.Segment, page int) error {
+	_, err := p.dst.ep.Call(env, p.src.host, "k.fetchPage", fetchPageArgs{PID: p.pid, Page: page}, 32)
+	return err
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sprite/internal/fs"
+	"sprite/internal/sim"
+)
+
+// TestMiscSyscalls exercises the remaining kernel-call surface in one
+// process: seek, dup (shared offsets), code touching, rename, readdir, and
+// timestamp stat.
+func TestMiscSyscalls(t *testing.T) {
+	c := newCluster(t, 1)
+	if err := c.Seed("/dir/one", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seed("/dir/two", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := c.Workstation(0).StartProcess(env, "misc", func(ctx *Ctx) error {
+			// Code faulting through the binary.
+			if err := ctx.TouchCode(4); err != nil {
+				return err
+			}
+			// Seek + Dup share one access position.
+			fd, err := ctx.Open("/dir/one", fs.ReadWriteMode, fs.OpenOptions{})
+			if err != nil {
+				return err
+			}
+			if _, err := ctx.Write(fd, []byte("abcdef")); err != nil {
+				return err
+			}
+			dup, err := ctx.Dup(fd)
+			if err != nil {
+				return err
+			}
+			if err := ctx.Seek(fd, 1); err != nil {
+				return err
+			}
+			got, err := ctx.Read(dup, 2) // dup shares the seeked offset
+			if err != nil {
+				return err
+			}
+			if string(got) != "bc" {
+				t.Errorf("dup read %q, want bc", got)
+			}
+			if err := ctx.Close(fd); err != nil {
+				return err
+			}
+			if err := ctx.Close(dup); err != nil {
+				return err
+			}
+			// Rename + ReadDir through the syscall layer.
+			if err := ctx.Rename("/dir/two", "/dir/three"); err != nil {
+				return err
+			}
+			names, err := ctx.ReadDir("/dir")
+			if err != nil {
+				return err
+			}
+			if len(names) != 2 || names[0] != "one" || names[1] != "three" {
+				t.Errorf("readdir = %v", names)
+			}
+			// StatTimes reflects the recent write.
+			size, mtime, err := ctx.StatTimes("/dir/one")
+			if err != nil {
+				return err
+			}
+			if size != 6 {
+				t.Errorf("size = %d, want 6", size)
+			}
+			if mtime <= 0 {
+				t.Errorf("mtime = %v, want > 0 after write", mtime)
+			}
+			return nil
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+}
+
+// TestNonEvictableProcessStays: marking a process non-evictable exempts it
+// from host reclaiming (Sprite let daemons opt out).
+func TestNonEvictableProcessStays(t *testing.T) {
+	c := newCluster(t, 2)
+	home, lent := c.Workstation(0), c.Workstation(1)
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := home.StartProcess(env, "daemonish", func(ctx *Ctx) error {
+			ctx.Process().SetEvictable(false)
+			if err := ctx.Migrate(lent.Host()); err != nil {
+				return err
+			}
+			return ctx.Compute(5 * time.Second)
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		if err := env.Sleep(time.Second); err != nil {
+			return err
+		}
+		if err := lent.EvictAll(env); err != nil {
+			return err
+		}
+		if p.Current() != lent {
+			t.Errorf("non-evictable process was moved to %v", p.Current().Host())
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+	if lent.Stats().Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", lent.Stats().Evictions)
+	}
+}
+
+// TestStringersAreStable pins the small String methods used in traces and
+// table output.
+func TestStringersAreStable(t *testing.T) {
+	cases := []struct {
+		got  string
+		want string
+	}{
+		{PID{Home: 3, Seq: 7}.String(), "host3.7"},
+		{StateRunning.String(), "running"},
+		{StateMigrating.String(), "migrating"},
+		{StateExited.String(), "exited"},
+		{SigKill.String(), "SIGKILL"},
+		{SigCont.String(), "SIGCONT"},
+		{PolicyHome.String(), "forwarded-home"},
+		{PolicyDenied.String(), "denied"},
+	}
+	for _, cse := range cases {
+		if cse.got != cse.want {
+			t.Errorf("got %q, want %q", cse.got, cse.want)
+		}
+	}
+}

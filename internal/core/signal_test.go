@@ -1,0 +1,333 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sprite/internal/fs"
+	"sprite/internal/sim"
+)
+
+// startVictim launches a long-running process (optionally migrated away)
+// and returns a sender helper; both are used from boot activities.
+func startVictim(c *Cluster, migrate bool) (getProc func() *Process) {
+	src, dst := c.Workstation(0), c.Workstation(1)
+	var p *Process
+	c.Boot("victim-start", func(env *sim.Env) error {
+		var err error
+		p, err = src.StartProcess(env, "victim", func(ctx *Ctx) error {
+			if migrate {
+				if err := ctx.Migrate(dst.Host()); err != nil {
+					return err
+				}
+			}
+			return ctx.Compute(time.Hour)
+		}, smallProc)
+		return err
+	})
+	return func() *Process { return p }
+}
+
+// sendSig runs a one-shot sender process that signals the target.
+func sendSig(env *sim.Env, k *Kernel, target PID, sig Signal) error {
+	sender, err := k.StartProcess(env, "sender", func(ctx *Ctx) error {
+		return ctx.SendSignal(target, sig)
+	}, smallProc)
+	if err != nil {
+		return err
+	}
+	_, err = sender.Exited().Wait(env)
+	return err
+}
+
+func TestSigTermDefaultKills(t *testing.T) {
+	c := newCluster(t, 2)
+	getP := startVictim(c, false)
+	c.Boot("driver", func(env *sim.Env) error {
+		if err := env.Sleep(time.Second); err != nil {
+			return err
+		}
+		return sendSig(env, c.Workstation(0), getP().PID(), SigTerm)
+	})
+	if err := c.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Sim().LiveActivities(); n != 0 {
+		t.Fatalf("victim survived SIGTERM (%d live)", n)
+	}
+}
+
+func TestSignalRoutedToMigratedProcess(t *testing.T) {
+	c := newCluster(t, 2)
+	getP := startVictim(c, true)
+	c.Boot("driver", func(env *sim.Env) error {
+		if err := env.Sleep(2 * time.Second); err != nil {
+			return err
+		}
+		if !getP().Foreign() {
+			t.Error("victim did not migrate")
+		}
+		return sendSig(env, c.Workstation(0), getP().PID(), SigKill)
+	})
+	if err := c.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if getP().State() != StateExited {
+		t.Fatalf("victim state = %v, want exited", getP().State())
+	}
+}
+
+func TestSigTermHandlerCatches(t *testing.T) {
+	c := newCluster(t, 1)
+	caught := 0
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := c.Workstation(0).StartProcess(env, "catcher", func(ctx *Ctx) error {
+			if err := ctx.SigVec(SigTerm, func(cc *Ctx, sig Signal) error {
+				caught++
+				return nil
+			}); err != nil {
+				return err
+			}
+			return ctx.Compute(5 * time.Second)
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		if err := env.Sleep(time.Second); err != nil {
+			return err
+		}
+		killer, err := c.Workstation(0).StartProcess(env, "killer", func(ctx *Ctx) error {
+			return ctx.SendSignal(p.PID(), SigTerm)
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		if _, err := killer.Exited().Wait(env); err != nil {
+			return err
+		}
+		st, err := p.Exited().Wait(env)
+		if err != nil {
+			return err
+		}
+		if st != 0 {
+			t.Errorf("status = %v, want 0 (handled)", st)
+		}
+		return nil
+	})
+	runCluster(t, c)
+	if caught != 1 {
+		t.Fatalf("handler ran %d times, want 1", caught)
+	}
+}
+
+func TestStopAndContinue(t *testing.T) {
+	c := newCluster(t, 1)
+	k := c.Workstation(0)
+	var finished time.Duration
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := k.StartProcess(env, "stoppee", func(ctx *Ctx) error {
+			err := ctx.Compute(2 * time.Second)
+			finished = ctx.Now()
+			return err
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		if err := env.Sleep(time.Second); err != nil {
+			return err
+		}
+		stopper, err := k.StartProcess(env, "stopper", func(ctx *Ctx) error {
+			return ctx.SendSignal(p.PID(), SigStop)
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		if _, err := stopper.Exited().Wait(env); err != nil {
+			return err
+		}
+		// Stopped for 5 seconds.
+		if err := env.Sleep(5 * time.Second); err != nil {
+			return err
+		}
+		if !p.Stopped() {
+			t.Error("process not stopped")
+		}
+		conter, err := k.StartProcess(env, "conter", func(ctx *Ctx) error {
+			return ctx.SendSignal(p.PID(), SigCont)
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		if _, err := conter.Exited().Wait(env); err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+	// 2s of work + ~5s stopped: must finish well after 6s.
+	if finished < 6*time.Second {
+		t.Fatalf("finished at %v, want > 6s (stop did not suspend)", finished)
+	}
+}
+
+func TestHandlerSurvivesMigration(t *testing.T) {
+	c := newCluster(t, 2)
+	src, dst := c.Workstation(0), c.Workstation(1)
+	caught := 0
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := src.StartProcess(env, "mover", func(ctx *Ctx) error {
+			if err := ctx.SigVec(SigUser1, func(cc *Ctx, sig Signal) error {
+				caught++
+				return nil
+			}); err != nil {
+				return err
+			}
+			if err := ctx.Migrate(dst.Host()); err != nil {
+				return err
+			}
+			return ctx.Compute(5 * time.Second)
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		if err := env.Sleep(2 * time.Second); err != nil {
+			return err
+		}
+		sender, err := src.StartProcess(env, "sender", func(ctx *Ctx) error {
+			return ctx.SendSignal(p.PID(), SigUser1)
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		if _, err := sender.Exited().Wait(env); err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+	if caught != 1 {
+		t.Fatalf("handler ran %d times after migration, want 1", caught)
+	}
+}
+
+func TestChdirMigratesWithProcess(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := c.Seed("/proj/data.txt", []byte("relative!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seed("/proj", nil); err != nil { // the directory itself
+		t.Fatal(err)
+	}
+	src, dst := c.Workstation(0), c.Workstation(1)
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := src.StartProcess(env, "reler", func(ctx *Ctx) error {
+			if err := ctx.Chdir("/proj"); err != nil {
+				return err
+			}
+			if err := ctx.Migrate(dst.Host()); err != nil {
+				return err
+			}
+			wd, err := ctx.Getwd()
+			if err != nil {
+				return err
+			}
+			if wd != "/proj" {
+				t.Errorf("cwd after migration = %q", wd)
+			}
+			fd, err := ctx.Open("data.txt", fs.ReadMode, fs.OpenOptions{})
+			if err != nil {
+				return err
+			}
+			data, err := ctx.Read(fd, 64)
+			if err != nil {
+				return err
+			}
+			if string(data) != "relative!" {
+				t.Errorf("read %q", data)
+			}
+			return ctx.Close(fd)
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+}
+
+func TestGetRusage(t *testing.T) {
+	c := newCluster(t, 2)
+	src, dst := c.Workstation(0), c.Workstation(1)
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := src.StartProcess(env, "worker", func(ctx *Ctx) error {
+			if err := ctx.TouchHeap(0, 8, true); err != nil {
+				return err
+			}
+			if err := ctx.Compute(time.Second); err != nil {
+				return err
+			}
+			if err := ctx.Migrate(dst.Host()); err != nil {
+				return err
+			}
+			ru, err := ctx.GetRusage()
+			if err != nil {
+				return err
+			}
+			if ru.CPUTime < time.Second {
+				t.Errorf("rusage cpu = %v, want >= 1s", ru.CPUTime)
+			}
+			if ru.PageFaults == 0 {
+				t.Error("rusage faults = 0")
+			}
+			if ru.Migrations != 1 {
+				t.Errorf("rusage migrations = %d, want 1", ru.Migrations)
+			}
+			return nil
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+}
+
+func TestNapIsAMigrationPoint(t *testing.T) {
+	c := newCluster(t, 2)
+	src, dst := c.Workstation(0), c.Workstation(1)
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := src.StartProcess(env, "napper", func(ctx *Ctx) error {
+			for i := 0; i < 100; i++ {
+				if err := ctx.Nap(100 * time.Millisecond); err != nil {
+					if errors.Is(err, ErrKilled) {
+						return err
+					}
+					return err
+				}
+				if ctx.Process().Current() == dst {
+					return nil // migrated mid-nap-loop
+				}
+			}
+			t.Error("migration never happened at a nap boundary")
+			return nil
+		}, smallProc)
+		if err != nil {
+			return err
+		}
+		if err := env.Sleep(time.Second); err != nil {
+			return err
+		}
+		done := src.RequestMigration(p, dst, "test")
+		if _, err := done.Wait(env); err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	runCluster(t, c)
+}

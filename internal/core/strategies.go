@@ -1,0 +1,206 @@
+package core
+
+import (
+	"time"
+
+	"sprite/internal/sim"
+	"sprite/internal/vm"
+)
+
+// TransferStrategy is how a migration moves the process's virtual memory.
+// The thesis surveys four designs (Ch. 2 and 4); Sprite's contribution is
+// the backing-store flush, and the others are implemented as ablations.
+type TransferStrategy interface {
+	// Name identifies the strategy in records and tables.
+	Name() string
+	// Transfer moves p's address space from src to dst, charging costs and
+	// filling in rec.
+	Transfer(env *sim.Env, src, dst *Kernel, p *Process, rec *MigrationRecord) error
+	// TargetPager returns the pager the process uses on the target after
+	// migration.
+	TargetPager(src, dst *Kernel) vm.Pager
+}
+
+// SpriteFlushStrategy is Sprite's design: write dirty pages to the shared
+// backing file, discard the resident set, and let the target demand-page
+// from the file server. No residual dependency on the source host — only on
+// the (already trusted) file server.
+type SpriteFlushStrategy struct{}
+
+var _ TransferStrategy = SpriteFlushStrategy{}
+
+// Name implements TransferStrategy.
+func (SpriteFlushStrategy) Name() string { return "sprite-flush" }
+
+// Transfer implements TransferStrategy.
+func (SpriteFlushStrategy) Transfer(env *sim.Env, src, dst *Kernel, p *Process, rec *MigrationRecord) error {
+	if p.space == nil {
+		return nil
+	}
+	n, err := p.space.FlushDirty(env, src.fsc)
+	if err != nil {
+		return err
+	}
+	rec.PagesFlushed = n
+	rec.VMBytes = n * src.params.VM.PageSize
+	for _, seg := range p.space.Segments() {
+		seg.InvalidateAll()
+	}
+	return nil
+}
+
+// TargetPager implements TransferStrategy: normal file-system paging on the
+// target.
+func (SpriteFlushStrategy) TargetPager(src, dst *Kernel) vm.Pager {
+	return &vm.FilePager{Client: dst.fsc}
+}
+
+// FullCopyStrategy ships the entire resident image directly to the target
+// at migration time, as in Charlotte and LOCUS. Simple, no residual
+// dependency, but the process is frozen for the whole (size-proportional)
+// transfer.
+type FullCopyStrategy struct{}
+
+var _ TransferStrategy = FullCopyStrategy{}
+
+// Name implements TransferStrategy.
+func (FullCopyStrategy) Name() string { return "full-copy" }
+
+// Transfer implements TransferStrategy.
+func (FullCopyStrategy) Transfer(env *sim.Env, src, dst *Kernel, p *Process, rec *MigrationRecord) error {
+	if p.space == nil {
+		return nil
+	}
+	pageBytes := src.params.VM.PageSize + src.params.PageWireOverhead
+	pages := 0
+	for _, seg := range p.space.Segments() {
+		pages += seg.ResidentCount()
+	}
+	if pages > 0 {
+		if err := src.cluster.net.Send(env, pages*pageBytes); err != nil {
+			return err
+		}
+	}
+	// Pages arrive resident on the target with their dirty bits intact, so
+	// nothing is re-fetched and nothing was written to backing store.
+	rec.PagesCopied = pages
+	rec.VMBytes = pages * pageBytes
+	return nil
+}
+
+// TargetPager implements TransferStrategy.
+func (FullCopyStrategy) TargetPager(src, dst *Kernel) vm.Pager {
+	return &vm.FilePager{Client: dst.fsc}
+}
+
+// CopyOnReferenceStrategy transfers only the page tables; the target pulls
+// pages from the source as the process references them (Accent/Zayas).
+// Migration itself is nearly instantaneous, but the process drags a
+// residual dependency on the source for the rest of its life.
+type CopyOnReferenceStrategy struct{}
+
+var _ TransferStrategy = CopyOnReferenceStrategy{}
+
+// Name implements TransferStrategy.
+func (CopyOnReferenceStrategy) Name() string { return "copy-on-reference" }
+
+// Transfer implements TransferStrategy.
+func (CopyOnReferenceStrategy) Transfer(env *sim.Env, src, dst *Kernel, p *Process, rec *MigrationRecord) error {
+	if p.space == nil {
+		return nil
+	}
+	// Ship page tables only: a few words per page.
+	tableBytes := p.space.TotalPages() * 8
+	if tableBytes > 0 {
+		if err := src.cluster.net.Send(env, tableBytes); err != nil {
+			return err
+		}
+	}
+	rec.VMBytes = tableBytes
+	rec.Residual = true
+	for _, seg := range p.space.Segments() {
+		seg.InvalidateAll()
+	}
+	return nil
+}
+
+// TargetPager implements TransferStrategy: faults pull pages from the
+// source host.
+func (CopyOnReferenceStrategy) TargetPager(src, dst *Kernel) vm.Pager {
+	return &corPager{src: src, dst: dst}
+}
+
+// PreCopyStrategy is the V System's design: copy the address space while
+// the process keeps running, then re-copy the pages dirtied during the
+// copy, repeating until the dirty set is small; only the final pass freezes
+// the process. Total work grows (pages are copied more than once) but the
+// freeze time shrinks.
+type PreCopyStrategy struct {
+	// RedirtyPagesPerSec models how fast the still-running process dirties
+	// pages during the background copy passes.
+	RedirtyPagesPerSec float64
+	// FreezeThresholdPages ends pre-copying when the dirty set is at most
+	// this many pages (default 16).
+	FreezeThresholdPages int
+	// MaxPasses bounds the number of pre-copy passes (default 5).
+	MaxPasses int
+}
+
+var _ TransferStrategy = PreCopyStrategy{}
+
+// Name implements TransferStrategy.
+func (PreCopyStrategy) Name() string { return "pre-copy" }
+
+// Transfer implements TransferStrategy.
+func (s PreCopyStrategy) Transfer(env *sim.Env, src, dst *Kernel, p *Process, rec *MigrationRecord) error {
+	if p.space == nil {
+		return nil
+	}
+	threshold := s.FreezeThresholdPages
+	if threshold <= 0 {
+		threshold = 16
+	}
+	maxPasses := s.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 5
+	}
+	pageBytes := src.params.VM.PageSize + src.params.PageWireOverhead
+	perPage := src.cluster.net.TransferTime(pageBytes)
+
+	// First pass: all resident pages, while the process "runs".
+	toCopy := 0
+	for _, seg := range p.space.Segments() {
+		toCopy += seg.ResidentCount()
+	}
+	copied := 0
+	for pass := 0; pass < maxPasses && toCopy > threshold; pass++ {
+		if err := src.cluster.net.Send(env, toCopy*pageBytes); err != nil {
+			return err
+		}
+		copied += toCopy
+		// Pages dirtied during this pass must be re-sent.
+		passTime := time.Duration(toCopy) * perPage
+		redirtied := int(s.RedirtyPagesPerSec * passTime.Seconds())
+		if redirtied > toCopy {
+			redirtied = toCopy
+		}
+		toCopy = redirtied
+	}
+	// Final, frozen pass.
+	tFreeze := env.Now()
+	if toCopy > 0 {
+		if err := src.cluster.net.Send(env, toCopy*pageBytes); err != nil {
+			return err
+		}
+		copied += toCopy
+	}
+	rec.Freeze = env.Now() - tFreeze
+	rec.PagesCopied = copied
+	rec.VMBytes = copied * pageBytes
+	return nil
+}
+
+// TargetPager implements TransferStrategy.
+func (PreCopyStrategy) TargetPager(src, dst *Kernel) vm.Pager {
+	return &vm.FilePager{Client: dst.fsc}
+}

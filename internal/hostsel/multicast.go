@@ -1,0 +1,155 @@
+package hostsel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+)
+
+// Multicast is the stateless request/response architecture Theimer & Lantz
+// analyze: a requester multicasts "who is idle?", idle hosts answer, and
+// the requester claims the first responders. No standing state anywhere,
+// but every request disturbs every host, which bounds scalability.
+type Multicast struct {
+	cluster *core.Cluster
+	claims  map[rpc.HostID]rpc.HostID
+	stats   Stats
+}
+
+var _ Selector = (*Multicast)(nil)
+
+type queryReply struct {
+	IdleSince time.Duration
+}
+
+// NewMulticast creates the multicast selector and registers its services on
+// every workstation.
+func NewMulticast(cluster *core.Cluster) *Multicast {
+	m := &Multicast{
+		cluster: cluster,
+		claims:  make(map[rpc.HostID]rpc.HostID),
+	}
+	for _, k := range cluster.Workstations() {
+		owner := k.Host()
+		ep := cluster.Transport().Endpoint(owner)
+		ep.Handle("hs.query", m.makeQueryHandler(owner))
+		ep.Handle("hs.mclaim", m.makeClaimHandler(owner))
+		ep.Handle("hs.mrelease", m.makeReleaseHandler(owner))
+	}
+	return m
+}
+
+// Name implements Selector.
+func (m *Multicast) Name() string { return "multicast" }
+
+// Stats implements Selector.
+func (m *Multicast) Stats() Stats { return m.stats }
+
+func (m *Multicast) makeQueryHandler(owner rpc.HostID) rpc.Handler {
+	return func(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+		k := m.cluster.KernelOn(owner)
+		if _, taken := m.claims[owner]; taken || k == nil || !k.Available(env.Now()) {
+			return nil, 0, ErrNoHosts // non-responders stay silent
+		}
+		return queryReply{IdleSince: k.LastInput()}, 16, nil
+	}
+}
+
+func (m *Multicast) makeClaimHandler(owner rpc.HostID) rpc.Handler {
+	return func(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+		a, ok := arg.(claimArgs)
+		if !ok {
+			return nil, 0, fmt.Errorf("hs.mclaim: bad args %T", arg)
+		}
+		k := m.cluster.KernelOn(owner)
+		if _, taken := m.claims[owner]; taken || k == nil || !k.Available(env.Now()) {
+			return false, 8, nil
+		}
+		m.claims[owner] = a.Client
+		return true, 8, nil
+	}
+}
+
+func (m *Multicast) makeReleaseHandler(owner rpc.HostID) rpc.Handler {
+	return func(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+		a, ok := arg.(claimArgs)
+		if !ok {
+			return nil, 0, fmt.Errorf("hs.mrelease: bad args %T", arg)
+		}
+		if m.claims[owner] == a.Client {
+			delete(m.claims, owner)
+		}
+		return nil, 8, nil
+	}
+}
+
+// NotifyAvailability implements Selector: stateless, nothing to update.
+func (m *Multicast) NotifyAvailability(env *sim.Env, host rpc.HostID, available bool) error {
+	return nil
+}
+
+// RequestHosts implements Selector: multicast a query, claim the longest
+// idle responders.
+func (m *Multicast) RequestHosts(env *sim.Env, client rpc.HostID, n int) ([]rpc.HostID, error) {
+	m.stats.Requests++
+	ep := m.cluster.Transport().Endpoint(client)
+	m.stats.Messages++ // the multicast itself
+	replies, err := ep.Broadcast(env, "hs.query", nil, 16)
+	if err != nil {
+		return nil, err
+	}
+	m.stats.Messages += uint64(len(replies))
+	type cand struct {
+		host rpc.HostID
+		idle time.Duration
+	}
+	var cands []cand
+	for h, r := range replies {
+		if qr, ok := r.(queryReply); ok && h != client {
+			cands = append(cands, cand{host: h, idle: qr.IdleSince})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].idle != cands[j].idle {
+			return cands[i].idle < cands[j].idle // longest idle first
+		}
+		return cands[i].host < cands[j].host
+	})
+	var got []rpc.HostID
+	for _, cd := range cands {
+		if len(got) >= n {
+			break
+		}
+		m.stats.Messages++
+		reply, err := ep.Call(env, cd.host, "hs.mclaim", claimArgs{Client: client}, 16)
+		if err != nil {
+			return got, err
+		}
+		if ok, _ := reply.(bool); ok {
+			got = append(got, cd.host)
+		} else {
+			m.stats.Conflicts++
+		}
+	}
+	m.stats.Granted += uint64(len(got))
+	if len(got) < n {
+		m.stats.Denied++
+	}
+	return got, nil
+}
+
+// Release implements Selector.
+func (m *Multicast) Release(env *sim.Env, client rpc.HostID, hosts []rpc.HostID) error {
+	ep := m.cluster.Transport().Endpoint(client)
+	for _, h := range hosts {
+		m.stats.Messages++
+		if _, err := ep.Call(env, h, "hs.mrelease", claimArgs{Client: client}, 16); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package hostsel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+)
+
+// ProbabilisticParams configures the MOSIX-style gossip selector.
+type ProbabilisticParams struct {
+	// Fanout is how many random peers receive each gossip message.
+	Fanout int
+	// Interval is the periodic gossip period (MOSIX used one second).
+	Interval time.Duration
+	// StaleAfter ages out view entries older than this.
+	StaleAfter time.Duration
+}
+
+// DefaultProbabilisticParams mirrors the MOSIX description: one-second
+// gossip to a small random subset.
+func DefaultProbabilisticParams() ProbabilisticParams {
+	return ProbabilisticParams{
+		Fanout:     3,
+		Interval:   time.Second,
+		StaleAfter: 10 * time.Second,
+	}
+}
+
+// Probabilistic is the distributed, gossip-based architecture: each host
+// keeps a local (possibly stale) view of other hosts' availability, updated
+// by periodic gossip to random subsets. Selection reads the local view and
+// verifies with a claim message; staleness shows up as claim conflicts.
+type Probabilistic struct {
+	cluster *core.Cluster
+	params  ProbabilisticParams
+
+	hosts   []rpc.HostID
+	views   map[rpc.HostID]map[rpc.HostID]availInfo
+	claims  map[rpc.HostID]rpc.HostID
+	stopped bool
+	stats   Stats
+}
+
+var _ Selector = (*Probabilistic)(nil)
+
+type gossipArgs struct {
+	Host      rpc.HostID
+	Available bool
+	IdleSince time.Duration
+	SentAt    time.Duration
+}
+
+type claimArgs struct {
+	Client rpc.HostID
+}
+
+// NewProbabilistic creates the gossip selector and registers its services
+// on every workstation.
+func NewProbabilistic(cluster *core.Cluster, params ProbabilisticParams) *Probabilistic {
+	if params.Fanout <= 0 {
+		params.Fanout = 3
+	}
+	if params.Interval <= 0 {
+		params.Interval = time.Second
+	}
+	p := &Probabilistic{
+		cluster: cluster,
+		params:  params,
+		views:   make(map[rpc.HostID]map[rpc.HostID]availInfo),
+		claims:  make(map[rpc.HostID]rpc.HostID),
+	}
+	for _, k := range cluster.Workstations() {
+		h := k.Host()
+		p.hosts = append(p.hosts, h)
+		p.views[h] = make(map[rpc.HostID]availInfo)
+		ep := cluster.Transport().Endpoint(h)
+		ep.Handle("hs.gossip", p.makeGossipHandler(h))
+		ep.Handle("hs.claim", p.makeClaimHandler(h))
+		ep.Handle("hs.release", p.makeReleaseHandler(h))
+	}
+	return p
+}
+
+// Name implements Selector.
+func (p *Probabilistic) Name() string { return "probabilistic" }
+
+// Stats implements Selector.
+func (p *Probabilistic) Stats() Stats { return p.stats }
+
+// StartDaemons spawns the per-host gossip tickers. They run until Stop is
+// called (or the simulation ends).
+func (p *Probabilistic) StartDaemons(env *sim.Env) {
+	for _, h := range p.hosts {
+		host := h
+		env.Spawn(fmt.Sprintf("gossip-%v", host), func(genv *sim.Env) error {
+			for !p.stopped {
+				if err := genv.Sleep(p.params.Interval); err != nil {
+					return err
+				}
+				if p.stopped {
+					return nil
+				}
+				if err := p.gossipFrom(genv, host); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// Stop ends the gossip daemons at their next tick.
+func (p *Probabilistic) Stop() { p.stopped = true }
+
+// gossipFrom sends the host's own state to Fanout random peers.
+func (p *Probabilistic) gossipFrom(env *sim.Env, host rpc.HostID) error {
+	k := p.cluster.KernelOn(host)
+	if k == nil {
+		return nil
+	}
+	msg := gossipArgs{
+		Host:      host,
+		Available: k.Available(env.Now()),
+		IdleSince: k.LastInput(),
+		SentAt:    env.Now(),
+	}
+	ep := p.cluster.Transport().Endpoint(host)
+	// Sample Fanout distinct peers (excluding self) without replacement.
+	peers := make([]rpc.HostID, 0, len(p.hosts)-1)
+	for _, h := range p.hosts {
+		if h != host {
+			peers = append(peers, h)
+		}
+	}
+	rng := env.Rand()
+	rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	n := p.params.Fanout
+	if n > len(peers) {
+		n = len(peers)
+	}
+	for _, peer := range peers[:n] {
+		p.stats.Messages++
+		if _, err := ep.Call(env, peer, "hs.gossip", msg, 48); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Probabilistic) makeGossipHandler(owner rpc.HostID) rpc.Handler {
+	return func(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+		a, ok := arg.(gossipArgs)
+		if !ok {
+			return nil, 0, fmt.Errorf("hs.gossip: bad args %T", arg)
+		}
+		view := p.views[owner]
+		if old, exists := view[a.Host]; !exists || a.SentAt > old.updatedAt {
+			view[a.Host] = availInfo{
+				available: a.Available,
+				idleSince: a.IdleSince,
+				updatedAt: a.SentAt,
+			}
+		}
+		return nil, 8, nil
+	}
+}
+
+func (p *Probabilistic) makeClaimHandler(owner rpc.HostID) rpc.Handler {
+	return func(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+		a, ok := arg.(claimArgs)
+		if !ok {
+			return nil, 0, fmt.Errorf("hs.claim: bad args %T", arg)
+		}
+		k := p.cluster.KernelOn(owner)
+		if _, taken := p.claims[owner]; taken || k == nil || !k.Available(env.Now()) {
+			return false, 8, nil
+		}
+		p.claims[owner] = a.Client
+		return true, 8, nil
+	}
+}
+
+func (p *Probabilistic) makeReleaseHandler(owner rpc.HostID) rpc.Handler {
+	return func(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+		a, ok := arg.(claimArgs)
+		if !ok {
+			return nil, 0, fmt.Errorf("hs.release: bad args %T", arg)
+		}
+		if p.claims[owner] == a.Client {
+			delete(p.claims, owner)
+		}
+		return nil, 8, nil
+	}
+}
+
+// NotifyAvailability implements Selector: the transition gossips
+// immediately (in addition to the periodic tick).
+func (p *Probabilistic) NotifyAvailability(env *sim.Env, host rpc.HostID, available bool) error {
+	return p.gossipFrom(env, host)
+}
+
+// RequestHosts implements Selector: consult the client's local view, newest
+// information first, and verify each pick with a claim message.
+func (p *Probabilistic) RequestHosts(env *sim.Env, client rpc.HostID, n int) ([]rpc.HostID, error) {
+	p.stats.Requests++
+	view := p.views[client]
+	now := env.Now()
+	type cand struct {
+		host rpc.HostID
+		at   time.Duration
+	}
+	var cands []cand
+	for h, inf := range view {
+		if h == client || !inf.available {
+			continue
+		}
+		if p.params.StaleAfter > 0 && now-inf.updatedAt > p.params.StaleAfter {
+			continue
+		}
+		cands = append(cands, cand{host: h, at: inf.updatedAt})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].at != cands[j].at {
+			return cands[i].at > cands[j].at
+		}
+		return cands[i].host < cands[j].host
+	})
+	ep := p.cluster.Transport().Endpoint(client)
+	var got []rpc.HostID
+	for _, cd := range cands {
+		if len(got) >= n {
+			break
+		}
+		p.stats.Messages++
+		reply, err := ep.Call(env, cd.host, "hs.claim", claimArgs{Client: client}, 16)
+		if err != nil {
+			return got, err
+		}
+		if ok, _ := reply.(bool); ok {
+			got = append(got, cd.host)
+		} else {
+			// Stale view: the host was not actually available.
+			p.stats.Conflicts++
+			view[cd.host] = availInfo{available: false, updatedAt: now}
+		}
+	}
+	p.stats.Granted += uint64(len(got))
+	if len(got) < n {
+		p.stats.Denied++
+	}
+	return got, nil
+}
+
+// Release implements Selector.
+func (p *Probabilistic) Release(env *sim.Env, client rpc.HostID, hosts []rpc.HostID) error {
+	ep := p.cluster.Transport().Endpoint(client)
+	for _, h := range hosts {
+		p.stats.Messages++
+		if _, err := ep.Call(env, h, "hs.release", claimArgs{Client: client}, 16); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package hostsel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sprite/internal/rpc"
+)
+
+// Property: host records survive an encode/decode round trip.
+func TestRecordRoundTrip(t *testing.T) {
+	f := func(available, claimed bool, claimedBy uint16, idleNanos int64) bool {
+		if idleNanos < 0 {
+			idleNanos = -idleNanos
+		}
+		in := hostRecord{
+			available: available,
+			claimed:   claimed,
+			claimedBy: rpc.HostID(claimedBy),
+			idleSince: time.Duration(idleNanos),
+		}
+		out := decodeRecord(encodeRecord(in))
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding junk never panics and never decodes a short buffer.
+func TestDecodeRecordTolerant(t *testing.T) {
+	f := func(buf []byte) bool {
+		rec := decodeRecord(buf)
+		if len(buf) < recordSize {
+			return rec == hostRecord{}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pickLongestIdle returns at most n hosts, all from the
+// candidate set, sorted longest-idle-first.
+func TestPickLongestIdleProperties(t *testing.T) {
+	f := func(seeds []uint8, n uint8) bool {
+		info := make(map[rpc.HostID]availInfo)
+		var cands []rpc.HostID
+		for i, s := range seeds {
+			h := rpc.HostID(i + 1)
+			cands = append(cands, h)
+			info[h] = availInfo{available: true, idleSince: time.Duration(s) * time.Second}
+		}
+		picked := pickLongestIdle(cands, info, int(n))
+		if len(picked) > int(n) || len(picked) > len(cands) {
+			return false
+		}
+		seen := make(map[rpc.HostID]bool)
+		for i, h := range picked {
+			if seen[h] {
+				return false // duplicates
+			}
+			seen[h] = true
+			if i > 0 && info[picked[i-1]].idleSince > info[h].idleSince {
+				return false // not longest-idle-first
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package hostsel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/fs"
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+)
+
+// recordSize is the fixed per-host record in the shared state file.
+const recordSize = 64
+
+// SharedFile is Sprite's original host-selection design: one file in the
+// shared file system holds a record per host; hosts write their own records
+// and requesters lock the file, scan it, and claim hosts by writing claim
+// marks. The file is write-shared by every host, so the FS disables client
+// caching for it and every access is a server round trip — the measured
+// reason Sprite replaced it with migd.
+type SharedFile struct {
+	cluster *core.Cluster
+	path    string
+	lock    string
+	slots   map[rpc.HostID]int
+	hosts   []rpc.HostID
+	stats   Stats
+}
+
+var _ Selector = (*SharedFile)(nil)
+
+// NewSharedFile creates the shared-file selector, seeding the state file.
+func NewSharedFile(cluster *core.Cluster, path string) (*SharedFile, error) {
+	if path == "" {
+		path = "/sprite/hoststate"
+	}
+	s := &SharedFile{
+		cluster: cluster,
+		path:    path,
+		lock:    path + ".lock",
+		slots:   make(map[rpc.HostID]int),
+	}
+	for i, k := range cluster.Workstations() {
+		s.slots[k.Host()] = i
+		s.hosts = append(s.hosts, k.Host())
+	}
+	if _, err := cluster.FS().SeedSized(path, recordSize*len(s.hosts), false); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name implements Selector.
+func (s *SharedFile) Name() string { return "shared-file" }
+
+// Stats implements Selector.
+func (s *SharedFile) Stats() Stats { return s.stats }
+
+type hostRecord struct {
+	available bool
+	claimed   bool
+	claimedBy rpc.HostID
+	idleSince time.Duration
+}
+
+func encodeRecord(r hostRecord) []byte {
+	buf := make([]byte, recordSize)
+	if r.available {
+		buf[0] = 1
+	}
+	if r.claimed {
+		buf[1] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[2:], uint64(r.claimedBy))
+	binary.LittleEndian.PutUint64(buf[10:], uint64(r.idleSince))
+	return buf
+}
+
+func decodeRecord(buf []byte) hostRecord {
+	if len(buf) < recordSize {
+		return hostRecord{}
+	}
+	return hostRecord{
+		available: buf[0] == 1,
+		claimed:   buf[1] == 1,
+		claimedBy: rpc.HostID(binary.LittleEndian.Uint64(buf[2:])),
+		idleSince: time.Duration(binary.LittleEndian.Uint64(buf[10:])),
+	}
+}
+
+// NotifyAvailability implements Selector: the host rewrites its own record.
+func (s *SharedFile) NotifyAvailability(env *sim.Env, host rpc.HostID, available bool) error {
+	slot, ok := s.slots[host]
+	if !ok {
+		return fmt.Errorf("hostsel: %w: %v", rpc.ErrNoHost, host)
+	}
+	s.stats.Messages++
+	client := s.cluster.FS().Client(host)
+	st, err := client.Open(env, s.path, fs.ReadWriteMode, fs.OpenOptions{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close(env, st) }()
+	off := int64(slot * recordSize)
+	old, err := client.ReadAt(env, st, off, recordSize)
+	if err != nil {
+		return err
+	}
+	rec := decodeRecord(old)
+	if available && !rec.available {
+		rec.idleSince = env.Now()
+	}
+	rec.available = available
+	return client.WriteAt(env, st, off, encodeRecord(rec))
+}
+
+// RequestHosts implements Selector: lock, scan, claim, unlock.
+func (s *SharedFile) RequestHosts(env *sim.Env, client rpc.HostID, n int) ([]rpc.HostID, error) {
+	s.stats.Requests++
+	s.stats.Messages++
+	c := s.cluster.FS().Client(client)
+	if err := c.Lock(env, s.lock); err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.Unlock(env, s.lock) }()
+	st, err := c.Open(env, s.path, fs.ReadWriteMode, fs.OpenOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.Close(env, st) }()
+	data, err := c.ReadAt(env, st, 0, recordSize*len(s.hosts))
+	if err != nil {
+		return nil, err
+	}
+	info := make(map[rpc.HostID]availInfo, len(s.hosts))
+	var cands []rpc.HostID
+	for i, h := range s.hosts {
+		if h == client {
+			continue
+		}
+		rec := decodeRecord(data[i*recordSize:])
+		if rec.available && !rec.claimed {
+			cands = append(cands, h)
+			info[h] = availInfo{available: true, idleSince: rec.idleSince}
+		}
+	}
+	picked := pickLongestIdle(cands, info, n)
+	for _, h := range picked {
+		i := s.slots[h]
+		rec := decodeRecord(data[i*recordSize:])
+		rec.claimed = true
+		rec.claimedBy = client
+		if err := c.WriteAt(env, st, int64(i*recordSize), encodeRecord(rec)); err != nil {
+			return nil, err
+		}
+	}
+	s.stats.Granted += uint64(len(picked))
+	if len(picked) < n {
+		s.stats.Denied++
+	}
+	return picked, nil
+}
+
+// Release implements Selector.
+func (s *SharedFile) Release(env *sim.Env, client rpc.HostID, hosts []rpc.HostID) error {
+	if len(hosts) == 0 {
+		return nil
+	}
+	s.stats.Messages++
+	c := s.cluster.FS().Client(client)
+	if err := c.Lock(env, s.lock); err != nil {
+		return err
+	}
+	defer func() { _ = c.Unlock(env, s.lock) }()
+	st, err := c.Open(env, s.path, fs.ReadWriteMode, fs.OpenOptions{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Close(env, st) }()
+	for _, h := range hosts {
+		slot, ok := s.slots[h]
+		if !ok {
+			continue
+		}
+		off := int64(slot * recordSize)
+		data, err := c.ReadAt(env, st, off, recordSize)
+		if err != nil {
+			return err
+		}
+		rec := decodeRecord(data)
+		if rec.claimedBy == client {
+			rec.claimed = false
+			rec.claimedBy = rpc.NoHost
+			if err := c.WriteAt(env, st, off, encodeRecord(rec)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"sprite/internal/sim"
+)
+
+func TestTransferTime(t *testing.T) {
+	n := New(sim.New(1), Params{BandwidthBytesPerSec: 1e6})
+	if got := n.TransferTime(1e6); got != time.Second {
+		t.Fatalf("TransferTime(1MB) = %v, want 1s", got)
+	}
+	if got := n.TransferTime(0); got != 0 {
+		t.Fatalf("TransferTime(0) = %v, want 0", got)
+	}
+	zero := New(sim.New(1), Params{})
+	if got := zero.TransferTime(1 << 20); got != 0 {
+		t.Fatalf("bandwidth=0 should cost nothing, got %v", got)
+	}
+}
+
+func TestSendChargesLatencyAndBandwidth(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, Params{Latency: time.Millisecond, BandwidthBytesPerSec: 1e6})
+	var elapsed time.Duration
+	s.Spawn("sender", func(env *sim.Env) error {
+		if err := n.Send(env, 500_000); err != nil {
+			return err
+		}
+		elapsed = env.Now()
+		return nil
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Millisecond + 500*time.Millisecond
+	if elapsed != want {
+		t.Fatalf("send took %v, want %v", elapsed, want)
+	}
+	if n.Messages() != 1 || n.Bytes() != 500_000 {
+		t.Fatalf("stats = %d msgs / %d bytes", n.Messages(), n.Bytes())
+	}
+}
+
+func TestContendedMediumSerializes(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, Params{Latency: 0, BandwidthBytesPerSec: 1e6, Contended: true})
+	var last time.Duration
+	for i := 0; i < 3; i++ {
+		s.Spawn("sender", func(env *sim.Env) error {
+			if err := n.Send(env, 1e6); err != nil {
+				return err
+			}
+			if env.Now() > last {
+				last = env.Now()
+			}
+			return nil
+		})
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if last != 3*time.Second {
+		t.Fatalf("3 contended 1s transfers finished at %v, want 3s", last)
+	}
+}
+
+func TestUncontendedMediumOverlaps(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, Params{Latency: 0, BandwidthBytesPerSec: 1e6})
+	var last time.Duration
+	for i := 0; i < 3; i++ {
+		s.Spawn("sender", func(env *sim.Env) error {
+			if err := n.Send(env, 1e6); err != nil {
+				return err
+			}
+			if env.Now() > last {
+				last = env.Now()
+			}
+			return nil
+		})
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if last != time.Second {
+		t.Fatalf("3 uncontended 1s transfers finished at %v, want 1s", last)
+	}
+}

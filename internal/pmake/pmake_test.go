@@ -1,0 +1,248 @@
+package pmake
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/fs"
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+)
+
+func newCluster(t *testing.T, workstations int) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.Options{Workstations: workstations, FileServers: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bin := range []string{"/bin/cc", "/bin/pmake"} {
+		if err := c.SeedBinary(bin, 256*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func smallProject(t *testing.T, c *core.Cluster, units int) *Makefile {
+	t.Helper()
+	p := DefaultProjectParams()
+	p.Units = units
+	p.CompileCPU = 500 * time.Millisecond
+	p.LinkCPU = 300 * time.Millisecond
+	p.LookupsPerUnit = 10
+	mf, err := SyntheticProject(c, rand.New(rand.NewSource(1)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mf
+}
+
+// runPmake executes mf from a pmake process on workstation 0 and returns
+// the result.
+func runPmake(t *testing.T, c *core.Cluster, mf *Makefile, opts Options) *Result {
+	t.Helper()
+	var res *Result
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := c.Workstation(0).StartProcess(env, "pmake", func(ctx *core.Ctx) error {
+			r, err := Run(ctx, mf, opts)
+			if err != nil {
+				return err
+			}
+			res = r
+			return nil
+		}, core.ProcConfig{Binary: "/bin/pmake", CodePages: 8, HeapPages: 16, StackPages: 2})
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestBuildOrderRespectsDeps(t *testing.T) {
+	mf := NewMakefile()
+	mf.AddSource("a.c")
+	mf.AddTarget("a.o", []string{"a.c"}, &Job{})
+	mf.AddTarget("prog", []string{"a.o"}, &Job{})
+	order, err := mf.BuildOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0].Name != "a.o" || order[1].Name != "prog" {
+		t.Fatalf("order = %v", names(order))
+	}
+}
+
+func TestBuildOrderDetectsCycle(t *testing.T) {
+	mf := NewMakefile()
+	mf.AddTarget("a", []string{"b"}, &Job{})
+	mf.AddTarget("b", []string{"a"}, &Job{})
+	if _, err := mf.BuildOrder(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestBuildOrderUnknownDep(t *testing.T) {
+	mf := NewMakefile()
+	mf.AddTarget("a", []string{"ghost"}, &Job{})
+	if _, err := mf.BuildOrder(); !errors.Is(err, ErrUnknownDep) {
+		t.Fatalf("err = %v, want ErrUnknownDep", err)
+	}
+}
+
+func names(ts []*Target) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}
+
+func TestLocalBuildProducesOutputs(t *testing.T) {
+	c := newCluster(t, 1)
+	mf := smallProject(t, c, 3)
+	res := runPmake(t, c, mf, Options{Force: true})
+	if res.Jobs != 4 { // 3 compiles + link
+		t.Fatalf("jobs = %d, want 4", res.Jobs)
+	}
+	if res.RemoteJobs != 0 {
+		t.Fatalf("remote jobs = %d, want 0", res.RemoteJobs)
+	}
+	// Outputs exist with the right sizes.
+	c2 := c.FS().Client(c.Workstation(0).Host())
+	c.Boot("verify", func(env *sim.Env) error {
+		_, size, err := c2.Stat(env, "/src/u0.o")
+		if err != nil {
+			return err
+		}
+		if size != DefaultProjectParams().ObjBytes {
+			t.Errorf("u0.o size = %d", size)
+		}
+		_, size, err = c2.Stat(env, "/src/prog")
+		if err != nil {
+			return err
+		}
+		if size != DefaultProjectParams().BinaryBytes {
+			t.Errorf("prog size = %d", size)
+		}
+		return nil
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteBuildUsesMigration(t *testing.T) {
+	c := newCluster(t, 4)
+	mf := smallProject(t, c, 6)
+	var hosts []rpc.HostID
+	for _, k := range c.Workstations()[1:] {
+		hosts = append(hosts, k.Host())
+	}
+	res := runPmake(t, c, mf, Options{Force: true, Hosts: hosts})
+	if res.RemoteJobs == 0 {
+		t.Fatal("no jobs ran remotely")
+	}
+	recs := c.MigrationRecords()
+	if len(recs) == 0 {
+		t.Fatal("no migrations recorded")
+	}
+	for _, r := range recs {
+		if !r.ExecTime {
+			t.Fatalf("pmake migration not exec-time: %+v", r)
+		}
+	}
+}
+
+func TestParallelBuildIsFaster(t *testing.T) {
+	cSeq := newCluster(t, 4)
+	seq := runPmake(t, cSeq, smallProject(t, cSeq, 8), Options{Force: true})
+
+	cPar := newCluster(t, 4)
+	var hosts []rpc.HostID
+	for _, k := range cPar.Workstations()[1:] {
+		hosts = append(hosts, k.Host())
+	}
+	par := runPmake(t, cPar, smallProject(t, cPar, 8), Options{Force: true, Hosts: hosts})
+
+	if par.Makespan >= seq.Makespan {
+		t.Fatalf("parallel %v not faster than sequential %v", par.Makespan, seq.Makespan)
+	}
+	speedup := float64(seq.Makespan) / float64(par.Makespan)
+	if speedup < 1.5 {
+		t.Fatalf("speedup = %.2f, want >= 1.5 with 3 extra hosts", speedup)
+	}
+}
+
+func TestIncrementalBuildSkipsUpToDate(t *testing.T) {
+	c := newCluster(t, 1)
+	mf := smallProject(t, c, 3)
+	first := runPmake(t, c, mf, Options{Force: true})
+	if first.Skipped != 0 {
+		t.Fatalf("first build skipped %d", first.Skipped)
+	}
+	second := runPmake(t, c, mf, Options{})
+	if second.Jobs != 0 {
+		t.Fatalf("second build ran %d jobs, want 0", second.Jobs)
+	}
+	if second.Skipped != 4 {
+		t.Fatalf("second build skipped %d, want 4", second.Skipped)
+	}
+}
+
+func TestTouchedSourceRebuildsDependentsOnly(t *testing.T) {
+	c := newCluster(t, 1)
+	mf := smallProject(t, c, 3)
+	first := runPmake(t, c, mf, Options{Force: true})
+	if first.Jobs != 4 {
+		t.Fatalf("first build jobs = %d", first.Jobs)
+	}
+	// Touch one source: its object and the link must rebuild; the other
+	// two objects stay fresh.
+	cl := c.FS().Client(c.Workstation(0).Host())
+	c.Boot("touch", func(env *sim.Env) error {
+		st, err := cl.Open(env, "/src/u1.c", fs.ReadWriteMode, fs.OpenOptions{})
+		if err != nil {
+			return err
+		}
+		if _, err := cl.Write(env, st, []byte("edit")); err != nil {
+			return err
+		}
+		if err := cl.FlushFile(env, st.FID); err != nil {
+			return err
+		}
+		return cl.Close(env, st)
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	second := runPmake(t, c, mf, Options{})
+	if second.Jobs != 2 {
+		t.Fatalf("incremental jobs = %d, want 2 (u1.o + link)", second.Jobs)
+	}
+	if second.Skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", second.Skipped)
+	}
+}
+
+func TestLinkWaitsForAllObjects(t *testing.T) {
+	c := newCluster(t, 3)
+	mf := smallProject(t, c, 4)
+	var hosts []rpc.HostID
+	for _, k := range c.Workstations()[1:] {
+		hosts = append(hosts, k.Host())
+	}
+	// If the link ran before an object existed, the job would fail on
+	// open; success implies ordering held.
+	res := runPmake(t, c, mf, Options{Force: true, Hosts: hosts})
+	if res.Jobs != 5 {
+		t.Fatalf("jobs = %d, want 5", res.Jobs)
+	}
+}

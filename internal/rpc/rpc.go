@@ -1,0 +1,239 @@
+// Package rpc implements the kernel-to-kernel remote procedure call system
+// that Sprite kernels use to cooperate (modeled on Welch's Sprite RPC
+// [Wel86], itself in the style of Birrell & Nelson [BN84]).
+//
+// Every host owns one Endpoint with a set of named services. A call charges
+// the caller for client-side software overhead, the network for the request
+// and reply payloads, and then executes the service handler synchronously in
+// the caller's activity; handlers charge any server-side costs to the
+// server's own resources (CPU, disk) explicitly.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sprite/internal/netsim"
+	"sprite/internal/sim"
+)
+
+// HostID identifies one host (workstation or file server) on the network.
+type HostID int
+
+// String renders the host id in the conventional "host<N>" form.
+func (h HostID) String() string { return fmt.Sprintf("host%d", int(h)) }
+
+// NoHost is the zero HostID; valid hosts are numbered from 1.
+const NoHost HostID = 0
+
+// Errors reported by the transport.
+var (
+	// ErrHostDown is returned when calling a host marked down.
+	ErrHostDown = errors.New("rpc: host down")
+	// ErrNoService is returned when the target host does not implement the
+	// requested service.
+	ErrNoService = errors.New("rpc: no such service")
+	// ErrNoHost is returned when the target host is not registered.
+	ErrNoHost = errors.New("rpc: no such host")
+)
+
+// Handler is a service implementation. It runs synchronously in the calling
+// activity; reply is the result value and replySize its wire size in bytes.
+type Handler func(env *sim.Env, from HostID, arg any) (reply any, replySize int, err error)
+
+// Params configures per-call software overheads.
+type Params struct {
+	// ClientOverhead is CPU time charged to the caller per call (marshal,
+	// trap, protocol processing on both ends folded together).
+	ClientOverhead time.Duration
+}
+
+// DefaultParams returns Sun-3-era RPC software overhead (about 1 ms of
+// processing per round trip in addition to two network traversals).
+func DefaultParams() Params {
+	return Params{ClientOverhead: 1 * time.Millisecond}
+}
+
+// CallStats aggregates per-service call accounting.
+type CallStats struct {
+	Calls uint64
+	Bytes uint64
+	Errs  uint64
+}
+
+// Transport is the RPC fabric connecting all hosts.
+type Transport struct {
+	sim       *sim.Simulation
+	net       *netsim.Network
+	params    Params
+	endpoints map[HostID]*Endpoint
+	stats     map[string]*CallStats
+}
+
+// NewTransport returns an empty transport over the given network.
+func NewTransport(s *sim.Simulation, net *netsim.Network, params Params) *Transport {
+	return &Transport{
+		sim:       s,
+		net:       net,
+		params:    params,
+		endpoints: make(map[HostID]*Endpoint),
+		stats:     make(map[string]*CallStats),
+	}
+}
+
+// Register creates (or returns) the endpoint for a host.
+func (t *Transport) Register(host HostID) *Endpoint {
+	if ep, ok := t.endpoints[host]; ok {
+		return ep
+	}
+	ep := &Endpoint{host: host, transport: t, services: make(map[string]Handler)}
+	t.endpoints[host] = ep
+	return ep
+}
+
+// Endpoint returns the endpoint for host, or nil if unregistered.
+func (t *Transport) Endpoint(host HostID) *Endpoint { return t.endpoints[host] }
+
+// Hosts returns all registered host ids in ascending order.
+func (t *Transport) Hosts() []HostID {
+	ids := make([]HostID, 0, len(t.endpoints))
+	for id := range t.endpoints {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Network returns the underlying network model.
+func (t *Transport) Network() *netsim.Network { return t.net }
+
+// Stats returns a copy of the per-service call statistics.
+func (t *Transport) Stats() map[string]CallStats {
+	out := make(map[string]CallStats, len(t.stats))
+	for k, v := range t.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// TotalCalls returns the total number of RPCs issued.
+func (t *Transport) TotalCalls() uint64 {
+	var n uint64
+	for _, v := range t.stats {
+		n += v.Calls
+	}
+	return n
+}
+
+func (t *Transport) record(service string, bytes int, failed bool) {
+	st, ok := t.stats[service]
+	if !ok {
+		st = &CallStats{}
+		t.stats[service] = st
+	}
+	st.Calls++
+	st.Bytes += uint64(bytes)
+	if failed {
+		st.Errs++
+	}
+}
+
+// Endpoint is one host's attachment to the RPC fabric.
+type Endpoint struct {
+	host      HostID
+	transport *Transport
+	services  map[string]Handler
+	down      bool
+}
+
+// Host returns the endpoint's host id.
+func (e *Endpoint) Host() HostID { return e.host }
+
+// Handle registers a service handler, replacing any previous registration.
+func (e *Endpoint) Handle(service string, h Handler) { e.services[service] = h }
+
+// SetDown marks the host unreachable (failure injection); calls to it fail
+// with ErrHostDown.
+func (e *Endpoint) SetDown(down bool) { e.down = down }
+
+// Down reports whether the host is marked unreachable.
+func (e *Endpoint) Down() bool { return e.down }
+
+// Call performs a synchronous RPC from this endpoint's host to the named
+// service on host `to`. argSize and the handler's replySize are charged to
+// the network.
+func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSize int) (any, error) {
+	t := e.transport
+	target, ok := t.endpoints[to]
+	if !ok {
+		t.record(service, argSize, true)
+		return nil, fmt.Errorf("%w: %v", ErrNoHost, to)
+	}
+	if target.down || e.down {
+		t.record(service, argSize, true)
+		return nil, fmt.Errorf("%w: %v", ErrHostDown, to)
+	}
+	h, ok := target.services[service]
+	if !ok {
+		t.record(service, argSize, true)
+		return nil, fmt.Errorf("%w: %s on %v", ErrNoService, service, to)
+	}
+	if e.host == to {
+		// Local shortcut: no network, no protocol overhead.
+		reply, _, err := h(env, e.host, arg)
+		t.record(service, 0, err != nil)
+		return reply, err
+	}
+	if err := env.Sleep(t.params.ClientOverhead); err != nil {
+		return nil, err
+	}
+	if err := t.net.Send(env, argSize); err != nil {
+		return nil, err
+	}
+	reply, replySize, err := h(env, e.host, arg)
+	if nerr := t.net.Send(env, replySize); nerr != nil {
+		return nil, nerr
+	}
+	t.record(service, argSize+replySize, err != nil)
+	return reply, err
+}
+
+// Broadcast delivers arg to the named service on every other registered host
+// that is up and implements it, returning the replies keyed by host. It
+// models one multicast packet on the wire plus one reply message per
+// responder.
+func (e *Endpoint) Broadcast(env *sim.Env, service string, arg any, argSize int) (map[HostID]any, error) {
+	t := e.transport
+	if err := env.Sleep(t.params.ClientOverhead); err != nil {
+		return nil, err
+	}
+	if err := t.net.Send(env, argSize); err != nil {
+		return nil, err
+	}
+	replies := make(map[HostID]any)
+	for _, id := range t.Hosts() {
+		if id == e.host {
+			continue
+		}
+		target := t.endpoints[id]
+		if target.down {
+			continue
+		}
+		h, ok := target.services[service]
+		if !ok {
+			continue
+		}
+		reply, replySize, err := h(env, e.host, arg)
+		if err != nil {
+			continue
+		}
+		if nerr := t.net.Send(env, replySize); nerr != nil {
+			return nil, nerr
+		}
+		t.record(service+".bcast", argSize+replySize, false)
+		replies[id] = reply
+	}
+	return replies, nil
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFutureCompletesWithError(t *testing.T) {
+	s := New(1)
+	f := NewFuture(s)
+	want := errors.New("request failed")
+	var got error
+	s.Spawn("w", func(env *Env) error {
+		_, got = f.Wait(env)
+		return nil
+	})
+	s.Spawn("c", func(env *Env) error {
+		if err := env.Sleep(time.Second); err != nil {
+			return err
+		}
+		f.Complete(nil, want)
+		return nil
+	})
+	run(t, s)
+	if !errors.Is(got, want) {
+		t.Fatalf("err = %v, want %v", got, want)
+	}
+}
+
+func TestFutureDoubleCompleteIsNoop(t *testing.T) {
+	s := New(1)
+	f := NewFuture(s)
+	f.Complete(1, nil)
+	f.Complete(2, nil)
+	var got any
+	s.Spawn("w", func(env *Env) error {
+		got, _ = f.Wait(env)
+		return nil
+	})
+	run(t, s)
+	if got != 1 {
+		t.Fatalf("got %v, want first value", got)
+	}
+	if !f.Done() {
+		t.Fatal("future not done")
+	}
+}
+
+func TestQueueLenAndSendAfterClose(t *testing.T) {
+	s := New(1)
+	q := NewQueue(s)
+	q.Send(1)
+	q.Send(2)
+	if q.Len() != 2 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	q.Close()
+	q.Send(3) // silently dropped
+	if q.Len() != 2 {
+		t.Fatalf("len after closed send = %d", q.Len())
+	}
+}
+
+func TestResourceUseReleasesOnSleepError(t *testing.T) {
+	s := New(1)
+	r := NewResource(s, 1)
+	s.Spawn("holder", func(env *Env) error {
+		// Stopped mid-Use: the resource must still be released so drain
+		// does not wedge other waiters.
+		_ = r.Use(env, time.Hour)
+		return nil
+	})
+	s.Spawn("stopper", func(env *Env) error {
+		if err := env.Sleep(time.Second); err != nil {
+			return err
+		}
+		s.Stop()
+		return nil
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.LiveActivities() != 0 {
+		t.Fatal("leaked activities")
+	}
+}
+
+func TestSpawnAfterRunStarts(t *testing.T) {
+	s := New(1)
+	order := make([]string, 0, 2)
+	s.Spawn("outer", func(env *Env) error {
+		if err := env.Sleep(time.Second); err != nil {
+			return err
+		}
+		env.Spawn("inner", func(ienv *Env) error {
+			order = append(order, "inner@"+ienv.Now().String())
+			return nil
+		})
+		order = append(order, "outer@"+env.Now().String())
+		return env.Sleep(time.Second)
+	})
+	run(t, s)
+	if len(order) != 2 || order[0] != "outer@1s" || order[1] != "inner@1s" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRandIsSeedStable(t *testing.T) {
+	a, b := New(9).Rand().Int63(), New(9).Rand().Int63()
+	if a != b {
+		t.Fatal("same seed produced different streams")
+	}
+	if New(9).Rand().Int63() == New(10).Rand().Int63() {
+		t.Fatal("different seeds produced identical first draws")
+	}
+}

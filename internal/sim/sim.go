@@ -1,0 +1,332 @@
+// Package sim provides a deterministic discrete-event simulator whose
+// activities are ordinary goroutines.
+//
+// Exactly one activity runs at any instant. An activity blocks only through
+// the primitives on its Env (Sleep, Future.Wait, Queue.Recv, Resource.Acquire,
+// ...); each of those hands control back to the scheduler, which resumes the
+// activity with the earliest pending event. Events are ordered by
+// (virtual time, sequence number), so a run is a pure function of the program
+// and the seed: re-running a simulation reproduces it bit for bit.
+//
+// The package is the substrate for everything else in this repository: hosts,
+// kernels, RPCs, and user processes in the Sprite reproduction are all sim
+// activities.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Errors returned by simulation primitives.
+var (
+	// ErrStopped is returned by blocking primitives when the simulation is
+	// shut down while the caller is waiting.
+	ErrStopped = errors.New("sim: simulation stopped")
+	// ErrTimeout is returned by the *Timeout variants of blocking primitives.
+	ErrTimeout = errors.New("sim: wait timed out")
+	// ErrDeadlock is returned by Run when activities remain blocked but no
+	// events are pending.
+	ErrDeadlock = errors.New("sim: deadlock: blocked activities with empty event queue")
+)
+
+// event is a scheduled wakeup of an activity or a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	act *activity // activity to resume (nil for fn-only events)
+	fn  func()    // optional callback run in scheduler context
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// activityState tracks where an activity is in its lifecycle.
+type activityState int
+
+const (
+	stateReady activityState = iota + 1
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// activity is one simulated thread of control.
+type activity struct {
+	id     uint64
+	name   string
+	state  activityState
+	resume chan struct{} // scheduler -> activity handoff
+	env    *Env
+	wake   *event // pending timer event, cancelled on early wake
+	err    error  // set if the activity's function returned an error
+}
+
+// Simulation is a deterministic discrete-event simulator. The zero value is
+// not usable; construct with New.
+type Simulation struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	actSeq  uint64
+	yield   chan struct{} // activity -> scheduler handoff
+	current *activity
+	live    map[uint64]*activity
+	stopped bool
+	rng     *rand.Rand
+	errs    []error
+
+	// Trace, when non-nil, receives one line per scheduler decision. It is
+	// intended for debugging tests, not production use.
+	Trace func(format string, args ...any)
+}
+
+// New returns a simulation whose random stream is seeded with seed.
+func New(seed int64) *Simulation {
+	return &Simulation{
+		yield: make(chan struct{}),
+		live:  make(map[uint64]*activity),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time (elapsed since simulation start).
+func (s *Simulation) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source. It must only be
+// used from within activities (or before Run), never concurrently.
+func (s *Simulation) Rand() *rand.Rand { return s.rng }
+
+// Spawn registers fn as a new activity that becomes runnable at the current
+// virtual time. It may be called before Run or from within a running
+// activity. The returned Env belongs to the new activity.
+func (s *Simulation) Spawn(name string, fn func(env *Env) error) *Env {
+	s.actSeq++
+	a := &activity{
+		id:     s.actSeq,
+		name:   name,
+		state:  stateReady,
+		resume: make(chan struct{}),
+	}
+	a.env = &Env{sim: s, act: a}
+	s.live[a.id] = a
+	go func() {
+		<-a.resume // wait for first scheduling
+		err := safeRun(fn, a.env)
+		a.err = err
+		a.state = stateDone
+		delete(s.live, a.id)
+		// An activity that bails out with ErrStopped during shutdown is not
+		// a failure; it is the expected way to unwind.
+		if err != nil && !errors.Is(err, ErrStopped) {
+			s.errs = append(s.errs, fmt.Errorf("activity %q: %w", a.name, err))
+		}
+		s.yield <- struct{}{}
+	}()
+	s.schedule(s.now, a, nil)
+	return a.env
+}
+
+func safeRun(fn func(env *Env) error, env *Env) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return fn(env)
+}
+
+// After schedules fn to run in scheduler context (not as an activity) after
+// delay d. Use Spawn for anything that needs to block.
+func (s *Simulation) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now+d, nil, fn)
+}
+
+func (s *Simulation) schedule(at time.Duration, a *activity, fn func()) *event {
+	s.seq++
+	ev := &event{at: at, seq: s.seq, act: a, fn: fn}
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// Run executes events until the queue is empty, until time limit is reached
+// (limit <= 0 means no limit), or until Stop is called. It returns the first
+// error of: an activity error, a detected deadlock, or nil.
+func (s *Simulation) Run(limit time.Duration) error {
+	for len(s.queue) > 0 && !s.stopped {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.act == nil && ev.fn == nil {
+			continue // cancelled timer
+		}
+		if limit > 0 && ev.at > limit {
+			s.now = limit
+			break
+		}
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		if ev.fn != nil {
+			ev.fn()
+		}
+		if ev.act != nil {
+			s.dispatch(ev.act)
+		}
+	}
+	if s.stopped {
+		s.drain()
+	}
+	if len(s.errs) > 0 {
+		return s.errs[0]
+	}
+	if !s.stopped && (limit <= 0 || s.now < limit) && len(s.live) > 0 {
+		names := make([]string, 0, len(s.live))
+		for _, a := range s.live {
+			names = append(names, a.name)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("%w: %v", ErrDeadlock, names)
+	}
+	return nil
+}
+
+// dispatch resumes activity a and waits for it to block or finish.
+func (s *Simulation) dispatch(a *activity) {
+	if a.state == stateDone {
+		return
+	}
+	if s.Trace != nil {
+		s.Trace("t=%v run %s", s.now, a.name)
+	}
+	a.wake = nil
+	a.state = stateRunning
+	s.current = a
+	a.resume <- struct{}{}
+	<-s.yield
+	s.current = nil
+}
+
+// Stop aborts the simulation: all blocked activities are woken with
+// ErrStopped so their goroutines exit, and Run returns.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// drain wakes every remaining blocked activity with ErrStopped so that no
+// goroutines are leaked after Run returns.
+func (s *Simulation) drain() {
+	for {
+		var next *activity
+		for _, a := range s.live {
+			if a.state == stateBlocked && (next == nil || a.id < next.id) {
+				next = a
+			}
+		}
+		if next == nil {
+			break
+		}
+		next.env.wakeErr = ErrStopped
+		s.dispatch(next)
+	}
+	// Ready activities (spawned but never run) still hold queued events;
+	// run them so their goroutines exit too.
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.act != nil && ev.act.state != stateDone {
+			ev.act.env.wakeErr = ErrStopped
+			s.dispatch(ev.act)
+		}
+	}
+}
+
+// LiveActivities returns the number of activities that have been spawned but
+// have not finished. It is mainly useful in tests for leak checking.
+func (s *Simulation) LiveActivities() int { return len(s.live) }
+
+// Env is an activity's handle onto the simulation. All blocking operations
+// must go through an Env; an Env must only be used by the activity that owns
+// it.
+type Env struct {
+	sim     *Simulation
+	act     *activity
+	wakeErr error // error to deliver at next wakeup (ErrStopped, ErrTimeout)
+}
+
+// Sim returns the underlying simulation.
+func (e *Env) Sim() *Simulation { return e.sim }
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.sim.now }
+
+// Rand returns the simulation's deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.sim.rng }
+
+// Name returns the activity's name (useful in logs and errors).
+func (e *Env) Name() string { return e.act.name }
+
+// Spawn starts a new activity at the current virtual time.
+func (e *Env) Spawn(name string, fn func(env *Env) error) *Env {
+	return e.sim.Spawn(name, fn)
+}
+
+// block parks the activity until the scheduler resumes it, returning any
+// wake error (ErrStopped or ErrTimeout) set by the waker.
+func (e *Env) block() error {
+	e.act.state = stateBlocked
+	e.sim.yield <- struct{}{}
+	<-e.act.resume
+	e.act.state = stateRunning
+	err := e.wakeErr
+	e.wakeErr = nil
+	return err
+}
+
+// Sleep advances the activity's virtual time by d.
+func (e *Env) Sleep(d time.Duration) error {
+	if d < 0 {
+		d = 0
+	}
+	e.act.wake = e.sim.schedule(e.sim.now+d, e.act, nil)
+	return e.block()
+}
+
+// Yield reschedules the activity at the current time, letting any other
+// activity scheduled for this instant run first.
+func (e *Env) Yield() error { return e.Sleep(0) }
+
+// wakeNow cancels a pending timer (if any) and schedules an immediate resume.
+func (e *Env) wakeNow(err error) {
+	if e.act.state != stateBlocked {
+		return
+	}
+	if e.act.wake != nil { // cancel pending timer
+		e.act.wake.act = nil
+		e.act.wake.fn = nil
+		e.act.wake = nil
+	}
+	e.wakeErr = err
+	e.sim.schedule(e.sim.now, e.act, nil)
+}

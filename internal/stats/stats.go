@@ -1,0 +1,176 @@
+// Package stats provides the small set of summary statistics used by the
+// experiment harness: online mean/variance, percentiles, and fixed-bucket
+// histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates observations and summarizes them.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddDuration records a duration observation in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Std returns the population standard deviation.
+func (s *Sample) Std() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[0]
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[len(s.values)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank interpolation.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 {
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Histogram counts observations into fixed-width buckets.
+type Histogram struct {
+	Lo, Width float64
+	Counts    []uint64
+	under     uint64
+	over      uint64
+	n         uint64
+}
+
+// NewHistogram returns a histogram with buckets [lo, lo+width), ...
+func NewHistogram(lo, width float64, buckets int) *Histogram {
+	return &Histogram{Lo: lo, Width: width, Counts: make([]uint64, buckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.n++
+	if v < h.Lo {
+		h.under++
+		return
+	}
+	// Compare in floating point before converting, so huge observations
+	// cannot overflow the bucket index.
+	bucket := (v - h.Lo) / h.Width
+	if bucket >= float64(len(h.Counts)) {
+		h.over++
+		return
+	}
+	h.Counts[int(bucket)]++
+}
+
+// N returns the total number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Fraction returns the fraction of observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.n)
+}
+
+// FractionBelow returns the fraction of observations strictly below v.
+func (h *Histogram) FractionBelow(v float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	count := h.under
+	for i, c := range h.Counts {
+		hi := h.Lo + float64(i+1)*h.Width
+		if hi <= v {
+			count += c
+		}
+	}
+	return float64(count) / float64(h.n)
+}
+
+// String renders a compact textual summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist(n=%d, under=%d, over=%d)", h.n, h.under, h.over)
+}

@@ -1,0 +1,115 @@
+// Package trace provides a bounded in-memory event log for cluster runs:
+// migrations, evictions, process lifecycle, and consistency actions, in
+// virtual-time order. It exists for debugging scenarios and for the
+// spritesim -trace flag; it has no effect on simulated time.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     time.Duration
+	Kind   string
+	Detail string
+}
+
+// String renders the event as one line.
+func (e Event) String() string {
+	return fmt.Sprintf("[%12v] %-16s %s", e.At, e.Kind, e.Detail)
+}
+
+// Log is a bounded ring of events. The zero value is unusable; use New.
+type Log struct {
+	ring    []Event
+	next    int
+	size    int
+	dropped uint64
+	filter  map[string]bool
+}
+
+// New returns a log holding at most capacity events (older ones are
+// dropped first).
+func New(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Log{ring: make([]Event, capacity)}
+}
+
+// SetFilter restricts recording to the given kinds (nil records all).
+func (l *Log) SetFilter(kinds ...string) {
+	if len(kinds) == 0 {
+		l.filter = nil
+		return
+	}
+	l.filter = make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		l.filter[k] = true
+	}
+}
+
+// Append records one event.
+func (l *Log) Append(at time.Duration, kind, detail string) {
+	if l.filter != nil && !l.filter[kind] {
+		return
+	}
+	if l.size == len(l.ring) {
+		l.dropped++
+	} else {
+		l.size++
+	}
+	l.ring[l.next] = Event{At: at, Kind: kind, Detail: detail}
+	l.next = (l.next + 1) % len(l.ring)
+}
+
+// Func adapts the log to the core.TraceFunc hook signature.
+func (l *Log) Func() func(at time.Duration, kind, detail string) {
+	return l.Append
+}
+
+// Events returns the recorded events, oldest first.
+func (l *Log) Events() []Event {
+	out := make([]Event, 0, l.size)
+	start := l.next - l.size
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for i := 0; i < l.size; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// Dropped returns how many events were evicted from the ring.
+func (l *Log) Dropped() uint64 { return l.dropped }
+
+// Len returns the number of retained events.
+func (l *Log) Len() int { return l.size }
+
+// String renders the retained events, one per line.
+func (l *Log) String() string {
+	var b strings.Builder
+	if l.dropped > 0 {
+		fmt.Fprintf(&b, "(%d earlier events dropped)\n", l.dropped)
+	}
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CountKind returns how many retained events have the given kind.
+func (l *Log) CountKind(kind string) int {
+	n := 0
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

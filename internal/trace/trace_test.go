@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/sim"
+)
+
+func TestRingRetainsNewest(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 5; i++ {
+		l.Append(time.Duration(i)*time.Second, "k", "")
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	if evs[0].At != 2*time.Second || evs[2].At != 4*time.Second {
+		t.Fatalf("events = %v", evs)
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", l.Dropped())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(10)
+	l.SetFilter("migration")
+	l.Append(0, "migration", "a")
+	l.Append(0, "proc-start", "b")
+	if l.Len() != 1 || l.CountKind("migration") != 1 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	l := New(2)
+	for i := 0; i < 3; i++ {
+		l.Append(time.Second, "k", "x")
+	}
+	s := l.String()
+	if !strings.Contains(s, "dropped") || !strings.Contains(s, "k") {
+		t.Fatalf("render = %q", s)
+	}
+}
+
+// TestClusterEmitsTraceEvents wires a log into a cluster and checks that a
+// migration run produces the expected event kinds in time order.
+func TestClusterEmitsTraceEvents(t *testing.T) {
+	c, err := core.NewCluster(core.Options{Workstations: 2, FileServers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SeedBinary("/bin/prog", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	l := New(128)
+	c.SetTrace(l.Func())
+	dst := c.Workstation(1)
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := c.Workstation(0).StartProcess(env, "traced", func(ctx *core.Ctx) error {
+			if err := ctx.TouchHeap(0, 4, true); err != nil {
+				return err
+			}
+			return ctx.Migrate(dst.Host())
+		}, core.ProcConfig{Binary: "/bin/prog", CodePages: 2, HeapPages: 4, StackPages: 1})
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if l.CountKind("proc-start") != 1 || l.CountKind("migration") != 1 || l.CountKind("proc-exit") != 1 {
+		t.Fatalf("events:\n%s", l)
+	}
+	evs := l.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events out of order:\n%s", l)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package vm
+
+import (
+	"testing"
+
+	"sprite/internal/sim"
+)
+
+func TestResidentSetCapEnforced(t *testing.T) {
+	h := newHarness(t)
+	h.run(t, func(env *sim.Env) error {
+		as := newSpace(t, env, h, "capped", 32)
+		as.SetMaxResident(8)
+		for i := 0; i < 32; i++ {
+			if err := as.Touch(env, as.Heap, i, false); err != nil {
+				return err
+			}
+			if got := as.ResidentPages(); got > 8 {
+				t.Fatalf("resident = %d after touch %d, cap 8", got, i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	h := newHarness(t)
+	h.run(t, func(env *sim.Env) error {
+		as := newSpace(t, env, h, "dirtycap", 32)
+		as.SetMaxResident(4)
+		// Dirty 12 pages through a 4-page cap: 8+ evictions of dirty pages.
+		for i := 0; i < 12; i++ {
+			if err := as.Touch(env, as.Heap, i, true); err != nil {
+				return err
+			}
+		}
+		if as.Stats().PageOuts == 0 {
+			t.Fatal("no page-outs under pressure")
+		}
+		// Written-back pages landed in the backing store.
+		_, size, err := h.fs.Client(2).Stat(env, "/swap/dirtycap.heap")
+		if err != nil {
+			return err
+		}
+		if size == 0 {
+			t.Fatal("backing store empty after dirty evictions")
+		}
+		// Evicted pages fault back in on re-touch.
+		before := as.Stats().Faults
+		if err := as.Touch(env, as.Heap, 0, false); err != nil {
+			return err
+		}
+		if as.Stats().Faults == before {
+			t.Fatal("evicted page did not fault on re-touch")
+		}
+		return nil
+	})
+}
+
+func TestThrashingStillMakesProgress(t *testing.T) {
+	h := newHarness(t)
+	h.run(t, func(env *sim.Env) error {
+		as := newSpace(t, env, h, "thrash", 16)
+		as.SetMaxResident(2)
+		// Repeatedly sweep a working set far larger than the cap.
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < 16; i++ {
+				if err := as.Touch(env, as.Heap, i, pass == 0); err != nil {
+					return err
+				}
+			}
+		}
+		if got := as.ResidentPages(); got > 2 {
+			t.Fatalf("resident = %d, cap 2", got)
+		}
+		return nil
+	})
+}
+
+func TestUnlimitedByDefault(t *testing.T) {
+	h := newHarness(t)
+	h.run(t, func(env *sim.Env) error {
+		as := newSpace(t, env, h, "uncapped", 64)
+		for i := 0; i < 64; i++ {
+			if err := as.Touch(env, as.Heap, i, true); err != nil {
+				return err
+			}
+		}
+		if got := as.Heap.ResidentCount(); got != 64 {
+			t.Fatalf("resident = %d, want 64 (no cap)", got)
+		}
+		if as.Stats().PageOuts != 0 {
+			t.Fatal("page-outs without a cap")
+		}
+		return nil
+	})
+}

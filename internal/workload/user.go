@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+)
+
+// Notify is how a user model reports availability transitions (usually a
+// hostsel.Selector's NotifyAvailability).
+type Notify func(env *sim.Env, host rpc.HostID, available bool) error
+
+// UserPool drives one simulated user per workstation: alternating
+// keyboard-activity bursts and idle gaps per the profile. During a burst the
+// user types every couple of seconds (keeping the host unavailable); after a
+// gap exceeds the kernel's idle-input age the host becomes available and the
+// transition is announced.
+type UserPool struct {
+	cluster *core.Cluster
+	profile DayProfile
+	notify  Notify
+	stopped bool
+	typing  time.Duration
+}
+
+// NewUserPool creates a pool over every workstation in the cluster. notify
+// may be nil.
+func NewUserPool(cluster *core.Cluster, profile DayProfile, notify Notify) *UserPool {
+	return &UserPool{
+		cluster: cluster,
+		profile: profile,
+		notify:  notify,
+		typing:  2 * time.Second,
+	}
+}
+
+// Start spawns one user activity per workstation. Users run until Stop.
+func (u *UserPool) Start(env *sim.Env) {
+	for _, k := range u.cluster.Workstations() {
+		kernel := k
+		env.Spawn(fmt.Sprintf("user-%v", kernel.Host()), func(uenv *sim.Env) error {
+			return u.runUser(uenv, kernel)
+		})
+	}
+}
+
+// Stop ends every user at its next state change.
+func (u *UserPool) Stop() { u.stopped = true }
+
+func (u *UserPool) runUser(env *sim.Env, k *core.Kernel) error {
+	idleAge := u.cluster.Params().IdleInputAge
+	rng := env.Rand()
+	// Stagger start so users don't move in lockstep.
+	if err := env.Sleep(time.Duration(rng.Int63n(int64(u.profile.SessionMean) + 1))); err != nil {
+		return err
+	}
+	for !u.stopped {
+		gap, busy := u.profile.NextSession(rng, env.Now())
+		// Idle gap: after idleAge of silence the host becomes available.
+		if gap > idleAge {
+			if err := env.Sleep(idleAge); err != nil {
+				return err
+			}
+			if u.stopped {
+				return nil
+			}
+			if u.notify != nil && k.Available(env.Now()) {
+				if err := u.notify(env, k.Host(), true); err != nil {
+					return err
+				}
+			}
+			if err := env.Sleep(gap - idleAge); err != nil {
+				return err
+			}
+		} else if err := env.Sleep(gap); err != nil {
+			return err
+		}
+		if u.stopped {
+			return nil
+		}
+		// The user returns: the host is immediately unavailable.
+		k.NoteInput(env.Now())
+		if u.notify != nil {
+			if err := u.notify(env, k.Host(), false); err != nil {
+				return err
+			}
+		}
+		// Activity burst: keystrokes every couple of seconds.
+		end := env.Now() + busy
+		for env.Now() < end && !u.stopped {
+			step := u.typing
+			if remaining := end - env.Now(); remaining < step {
+				step = remaining
+			}
+			if err := env.Sleep(step); err != nil {
+				return err
+			}
+			k.NoteInput(env.Now())
+		}
+	}
+	return nil
+}
+
+// SampleAvailability polls the cluster every interval for total, and
+// returns the fraction of workstations available at each sample.
+func SampleAvailability(env *sim.Env, cluster *core.Cluster, interval, total time.Duration) ([]float64, error) {
+	var out []float64
+	steps := int(total / interval)
+	for i := 0; i < steps; i++ {
+		if err := env.Sleep(interval); err != nil {
+			return out, err
+		}
+		idle := 0
+		ws := cluster.Workstations()
+		for _, k := range ws {
+			if k.Available(env.Now()) {
+				idle++
+			}
+		}
+		out = append(out, float64(idle)/float64(len(ws)))
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+// Package workload generates the synthetic load the experiments drive the
+// cluster with: process lifetimes matched to Zhou's BSD measurements, user
+// activity sessions with day/night structure (Ch. 8's availability traces),
+// and the long-running simulation jobs the thesis cites as migration's best
+// customers.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// LifetimeDist is a two-phase hyperexponential process-lifetime
+// distribution: most processes are very short, a few run for a long time.
+type LifetimeDist struct {
+	// PShort is the probability a process is short-lived.
+	PShort float64
+	// ShortMean and LongMean are the phase means.
+	ShortMean time.Duration
+	LongMean  time.Duration
+}
+
+// ZhouLifetimes returns a distribution matched to Zhou's VAX-11/780 trace
+// [Zho87]: mean ~1.5 s, standard deviation ~19 s, with the large majority
+// of processes living under a second.
+func ZhouLifetimes() LifetimeDist {
+	return LifetimeDist{
+		PShort:    0.993,
+		ShortMean: 400 * time.Millisecond,
+		LongMean:  157 * time.Second,
+	}
+}
+
+// Sample draws one lifetime.
+func (d LifetimeDist) Sample(rng *rand.Rand) time.Duration {
+	mean := d.LongMean
+	if rng.Float64() < d.PShort {
+		mean = d.ShortMean
+	}
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}
+
+// Mean returns the distribution's analytic mean.
+func (d LifetimeDist) Mean() time.Duration {
+	return time.Duration(d.PShort*float64(d.ShortMean) + (1-d.PShort)*float64(d.LongMean))
+}
+
+// DayProfile describes a user's activity pattern by time of day.
+type DayProfile struct {
+	// DayStart and DayEnd delimit working hours within each 24 h period.
+	DayStart time.Duration
+	DayEnd   time.Duration
+	// BusyFracDay and BusyFracNight are the fractions of time the user is
+	// at the keyboard in each regime.
+	BusyFracDay   float64
+	BusyFracNight float64
+	// SessionMean is the mean length of one activity burst.
+	SessionMean time.Duration
+}
+
+// DefaultDayProfile is calibrated so that cluster-wide idleness lands in
+// the thesis's 65-70% daytime / ~80% night band.
+func DefaultDayProfile() DayProfile {
+	return DayProfile{
+		DayStart:      9 * time.Hour,
+		DayEnd:        17 * time.Hour,
+		BusyFracDay:   0.32,
+		BusyFracNight: 0.18,
+		SessionMean:   15 * time.Minute,
+	}
+}
+
+// BusyFrac returns the target busy fraction at a given time.
+func (p DayProfile) BusyFrac(now time.Duration) float64 {
+	tod := now % (24 * time.Hour)
+	if tod >= p.DayStart && tod < p.DayEnd {
+		return p.BusyFracDay
+	}
+	return p.BusyFracNight
+}
+
+// NextSession samples (gap, busy) for the next activity cycle at time now:
+// the user is away for gap, then active for busy.
+func (p DayProfile) NextSession(rng *rand.Rand, now time.Duration) (gap, busy time.Duration) {
+	frac := p.BusyFrac(now)
+	if frac <= 0 {
+		frac = 0.01
+	}
+	if frac >= 1 {
+		frac = 0.99
+	}
+	busy = time.Duration(rng.ExpFloat64() * float64(p.SessionMean))
+	meanGap := float64(p.SessionMean) * (1 - frac) / frac
+	gap = time.Duration(rng.ExpFloat64() * meanGap)
+	return gap, busy
+}

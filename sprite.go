@@ -1,0 +1,141 @@
+// Package sprite is a faithful, simulation-backed reproduction of the
+// process migration facility of the Sprite network operating system
+// (Douglis & Ousterhout, ICDCS 1987; Douglis's 1990 thesis "Transparent
+// Process Migration in the Sprite Operating System").
+//
+// The package simulates a cluster of diskless workstations and file
+// servers connected by a LAN: a shared network file system with client
+// caching and server-driven consistency, per-host kernels speaking
+// kernel-to-kernel RPC, demand-paged virtual memory backed by the shared
+// FS, and — the contribution — transparent process migration with
+// home-machine call forwarding, plus the host-selection architectures the
+// thesis compares. All time is virtual and every run is deterministic
+// given its seed.
+//
+// Quick start:
+//
+//	c, err := sprite.NewCluster(sprite.Options{Workstations: 2})
+//	if err != nil { ... }
+//	_ = c.SeedBinary("/bin/prog", 128<<10)
+//	c.Boot("boot", func(env *sim.Env) error {
+//	    p, err := c.Workstation(0).StartProcess(env, "job", func(ctx *sprite.Ctx) error {
+//	        if err := ctx.Migrate(c.Workstation(1).Host()); err != nil {
+//	            return err
+//	        }
+//	        return ctx.Compute(time.Second)
+//	    }, sprite.ProcConfig{Binary: "/bin/prog", CodePages: 4, HeapPages: 8, StackPages: 2})
+//	    if err != nil {
+//	        return err
+//	    }
+//	    _, err = p.Exited().Wait(env)
+//	    return err
+//	})
+//	err = c.Run(0)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced tables and figures.
+package sprite
+
+import (
+	"sprite/internal/core"
+	"sprite/internal/rpc"
+)
+
+// Re-exported core types: the public API is the cluster, its kernels, and
+// the process/kernel-call surface programs use.
+type (
+	// Cluster is a simulated Sprite installation.
+	Cluster = core.Cluster
+	// Options configures NewCluster.
+	Options = core.Options
+	// Params carries every calibration constant.
+	Params = core.Params
+	// Kernel is one host's Sprite kernel.
+	Kernel = core.Kernel
+	// Ctx is a program's kernel-call interface.
+	Ctx = core.Ctx
+	// Program is the body of a simulated user process.
+	Program = core.Program
+	// Process is a simulated user process.
+	Process = core.Process
+	// ProcConfig sizes a process image.
+	ProcConfig = core.ProcConfig
+	// PID identifies a process; it encodes the home machine.
+	PID = core.PID
+	// MigrationRecord documents one completed migration.
+	MigrationRecord = core.MigrationRecord
+	// TransferStrategy is a virtual-memory migration strategy.
+	TransferStrategy = core.TransferStrategy
+	// HostID identifies a host on the network.
+	HostID = rpc.HostID
+	// HandlingPolicy classifies a kernel call's migration behaviour.
+	HandlingPolicy = core.HandlingPolicy
+	// Signal is a 4.3BSD-style signal, routed through home machines.
+	Signal = core.Signal
+	// SignalHandler is a user signal handler.
+	SignalHandler = core.SignalHandler
+	// Rusage is the resource-usage record of GetRusage.
+	Rusage = core.Rusage
+)
+
+// Signals.
+const (
+	SigTerm  = core.SigTerm
+	SigKill  = core.SigKill
+	SigStop  = core.SigStop
+	SigCont  = core.SigCont
+	SigUser1 = core.SigUser1
+	SigUser2 = core.SigUser2
+)
+
+// The four virtual-memory transfer strategies from the thesis's design
+// space (Ch. 2 and 4).
+type (
+	// SpriteFlushStrategy is Sprite's design: flush dirty pages to the
+	// shared backing file and demand-page on the target.
+	SpriteFlushStrategy = core.SpriteFlushStrategy
+	// FullCopyStrategy ships the whole resident image while frozen
+	// (Charlotte, LOCUS).
+	FullCopyStrategy = core.FullCopyStrategy
+	// CopyOnReferenceStrategy leaves pages at the source and pulls them on
+	// fault (Accent/Zayas).
+	CopyOnReferenceStrategy = core.CopyOnReferenceStrategy
+	// PreCopyStrategy copies while running, refreezing only for the last
+	// dirty pages (V System/Theimer).
+	PreCopyStrategy = core.PreCopyStrategy
+)
+
+// Kernel-call handling policies (Appendix A).
+const (
+	PolicyLocal    = core.PolicyLocal
+	PolicyFile     = core.PolicyFile
+	PolicyHome     = core.PolicyHome
+	PolicyTransfer = core.PolicyTransfer
+	PolicyDenied   = core.PolicyDenied
+)
+
+// Errors re-exported for matching with errors.Is.
+var (
+	// ErrKilled is delivered to a killed process.
+	ErrKilled = core.ErrKilled
+	// ErrNotMigratable marks processes that refuse migration.
+	ErrNotMigratable = core.ErrNotMigratable
+	// ErrNoSuchProcess is returned for unknown pids.
+	ErrNoSuchProcess = core.ErrNoSuchProcess
+	// ErrVersionMismatch is returned for incompatible migration versions.
+	ErrVersionMismatch = core.ErrVersionMismatch
+)
+
+// SyscallTable is the Appendix-A classification of kernel calls by how
+// Sprite keeps them transparent for migrated processes.
+var SyscallTable = core.SyscallTable
+
+// NewCluster builds a simulated Sprite cluster.
+func NewCluster(opts Options) (*Cluster, error) {
+	return core.NewCluster(opts)
+}
+
+// DefaultParams returns the Sun-3-era calibration constants.
+func DefaultParams() Params {
+	return core.DefaultParams()
+}
