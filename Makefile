@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments examples clean
+.PHONY: all build vet test race cover bench experiments examples clean
 
 all: build vet test
 
@@ -14,6 +14,22 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The simulator parks goroutines and hands control across channels, so the
+# race detector is the test that the one-activity-at-a-time discipline holds.
+race:
+	$(GO) test -race ./...
+
+# Minimum total coverage enforced; raise as the suite grows.
+COVER_MIN ?= 60
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	ok=$$(awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN{print (t>=m)?"yes":"no"}'); \
+	if [ "$$ok" != "yes" ]; then \
+		echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; \
+	fi
 
 # One benchmark iteration per reproduced table/figure plus ablations.
 bench:

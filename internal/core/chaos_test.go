@@ -149,6 +149,9 @@ func TestChaos(t *testing.T) {
 			if c.Sim().LiveActivities() != 0 {
 				t.Errorf("leaked %d activities", c.Sim().LiveActivities())
 			}
+			if v := c.CheckInvariants(true); len(v) != 0 {
+				t.Errorf("invariants violated: %v", v)
+			}
 		})
 	}
 }

@@ -42,6 +42,15 @@ type Cluster struct {
 	servers      []*fs.Server
 
 	trace TraceFunc
+
+	// failpoint, when set, is consulted at named migration steps (fault
+	// injection; see SetFailpoint).
+	failpoint FailpointFunc
+
+	// The process ledger backs the exactly-once accounting invariant:
+	// every started pid must exit (or be reported crashed) exactly once.
+	ledgerStarted map[PID]int
+	ledgerEnded   map[PID]int
 }
 
 // TraceFunc receives cluster events (migrations, evictions, process
@@ -77,12 +86,14 @@ func NewCluster(opts Options) (*Cluster, error) {
 	fsys := fs.New(s, transport, params.FS)
 
 	c := &Cluster{
-		sim:       s,
-		params:    params,
-		net:       net,
-		transport: transport,
-		fs:        fsys,
-		kernels:   make(map[rpc.HostID]*Kernel),
+		sim:           s,
+		params:        params,
+		net:           net,
+		transport:     transport,
+		fs:            fsys,
+		kernels:       make(map[rpc.HostID]*Kernel),
+		ledgerStarted: make(map[PID]int),
+		ledgerEnded:   make(map[PID]int),
 	}
 	for i := 0; i < opts.FileServers; i++ {
 		host := rpc.HostID(1 + i)

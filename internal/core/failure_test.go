@@ -54,8 +54,10 @@ func TestMigrationToDownHostAbortsCleanly(t *testing.T) {
 }
 
 // residualHarness runs: start on home, migrate home->A, migrate A->B, then
-// A crashes while the process tries to touch its memory on B. It returns
-// the error the process observed on that touch.
+// host A fail-stops through the fault plane while the process tries to
+// touch its memory on B. It returns the error the process observed on that
+// touch, and checks the cluster invariants once the run settles (the crash
+// scrubs A's file and process state, so nothing may leak or double-count).
 func residualHarness(t *testing.T, strategy TransferStrategy) error {
 	t.Helper()
 	c := newCluster(t, 3)
@@ -77,8 +79,8 @@ func residualHarness(t *testing.T, strategy TransferStrategy) error {
 			if err := ctx.Migrate(hostB.Host()); err != nil {
 				return err
 			}
-			// A crashes: does the process still run?
-			c.Transport().Endpoint(hostA.Host()).SetDown(true)
+			// A fail-stops: does the process still run?
+			c.CrashHost(env, hostA.Host())
 			touchErr = ctx.TouchHeap(0, 32, false)
 			return nil
 		}, bigProc)
@@ -89,32 +91,41 @@ func residualHarness(t *testing.T, strategy TransferStrategy) error {
 		return err
 	})
 	runCluster(t, c)
+	if v := c.CheckInvariants(true); len(v) != 0 {
+		t.Errorf("invariants violated after crash run: %v", v)
+	}
 	return touchErr
 }
 
-// TestResidualDependencyKillsCORProcess demonstrates the thesis's argument
-// against copy-on-reference: the migrated process depends on its last
-// source host for the rest of its life.
-func TestResidualDependencyKillsCORProcess(t *testing.T) {
-	err := residualHarness(t, CopyOnReferenceStrategy{})
-	if !errors.Is(err, rpc.ErrHostDown) {
-		t.Fatalf("touch err = %v, want ErrHostDown (residual dependency)", err)
+// TestResidualDependencyAcrossStrategies pits the thesis's central
+// robustness claim against all four VM transfer strategies: copy-on-
+// reference leaves the process dependent on its last source host for the
+// rest of its life (the touch fails when that host fail-stops), while
+// Sprite's backing-store flush, full copy, and pre-copy all move or flush
+// the state out and survive the same crash.
+func TestResidualDependencyAcrossStrategies(t *testing.T) {
+	cases := []struct {
+		name     string
+		strategy TransferStrategy
+		residual bool
+	}{
+		{"copy-on-reference", CopyOnReferenceStrategy{}, true},
+		{"sprite-flush", SpriteFlushStrategy{}, false},
+		{"full-copy", FullCopyStrategy{}, false},
+		{"pre-copy", PreCopyStrategy{RedirtyPagesPerSec: 100}, false},
 	}
-}
-
-// TestSpriteFlushSurvivesSourceCrash is the flip side: with the
-// backing-store flush, the process depends only on the file server, so the
-// source host's death is harmless.
-func TestSpriteFlushSurvivesSourceCrash(t *testing.T) {
-	if err := residualHarness(t, SpriteFlushStrategy{}); err != nil {
-		t.Fatalf("touch err = %v, want nil (no residual dependency)", err)
-	}
-}
-
-// TestFullCopySurvivesSourceCrash: full copy also leaves nothing behind.
-func TestFullCopySurvivesSourceCrash(t *testing.T) {
-	if err := residualHarness(t, FullCopyStrategy{}); err != nil {
-		t.Fatalf("touch err = %v, want nil (no residual dependency)", err)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := residualHarness(t, tc.strategy)
+			if tc.residual {
+				if !errors.Is(err, rpc.ErrHostDown) {
+					t.Fatalf("touch err = %v, want ErrHostDown (residual dependency)", err)
+				}
+			} else if err != nil {
+				t.Fatalf("touch err = %v, want nil (no residual dependency)", err)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"sprite/internal/fs"
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+)
+
+// This file is the kernel half of the fault plane: named mid-migration
+// failure points, fail-stop host crash and restart, and the process ledger
+// behind the exactly-once exit invariant. With no failpoint installed and no
+// crash injected, nothing here perturbs a run — golden outputs stay
+// bit-identical.
+
+// FailpointFunc decides whether a named migration step fails. It runs in
+// the migrating process's activity at the end of the step; a non-nil error
+// aborts the migration there and drives the real abort-recovery path.
+// Points: "mig.init", "mig.vm", "mig.streams", "mig.pcb" (the exec-time
+// variant skips "mig.vm").
+type FailpointFunc func(env *sim.Env, name string, pid PID) error
+
+// SetFailpoint installs (or with nil removes) the migration failpoint hook.
+func (c *Cluster) SetFailpoint(fn FailpointFunc) { c.failpoint = fn }
+
+func (c *Cluster) failAt(env *sim.Env, name string, pid PID) error {
+	if c.failpoint == nil {
+		return nil
+	}
+	return c.failpoint(env, name, pid)
+}
+
+// --- process ledger ---
+
+func (c *Cluster) noteStart(pid PID) { c.ledgerStarted[pid]++ }
+func (c *Cluster) noteEnd(pid PID)   { c.ledgerEnded[pid]++ }
+
+// --- host crash and restart ---
+
+// CrashHost fail-stops a host: its endpoint goes down, every process
+// executing on it is destroyed, every process whose *home* it is dies
+// wherever it runs (home records are the soft state that makes migration
+// transparent; without a home machine the process has no identity — Sprite's
+// home-dependency semantics), and the file system runs its recovery
+// protocol, scrubbing the host's open state from every server.
+//
+// Processes executing ON the crashed host unwind immediately without
+// running any more simulated work. Processes merely HOMED there die through
+// the ordinary kill path at their next migration point, closing their
+// descriptors for real — their kernels are still alive.
+func (c *Cluster) CrashHost(env *sim.Env, host rpc.HostID) {
+	if ep := c.transport.Endpoint(host); ep != nil {
+		ep.SetDown(true)
+	}
+	if k := c.kernels[host]; k != nil {
+		for _, p := range k.Processes() {
+			if p.cur != k {
+				// A skeleton installed by an in-flight migration whose
+				// switch-over has not happened: it dies with the host; the
+				// migrating process aborts back to its source.
+				delete(k.procs, p.pid)
+				continue
+			}
+			c.destroyProcess(env, p, host)
+		}
+		for _, rec := range k.homeRecords() {
+			p := rec.proc
+			if w := rec.waiter; w != nil {
+				// A parent blocked in Wait at this (its home) machine: wake
+				// it with the crash so it can unwind.
+				rec.waiter = nil
+				w.Complete(nil, ErrHostCrashed)
+			}
+			if p.state == StateExited || p.crashed || p.cur == k {
+				continue
+			}
+			p.post(SigKill)
+		}
+		k.homeRecs = make(map[PID]*homeRecord)
+	}
+	c.fs.ScrubHost(host)
+	c.emit(env.Now(), "host-crash", fmt.Sprintf("host %v", host))
+}
+
+// RestartHost brings a crashed host back with empty tables. Its pid
+// sequence keeps counting (Sprite pids encode an incarnation-safe sequence),
+// so pids from before the crash are never reused.
+func (c *Cluster) RestartHost(env *sim.Env, host rpc.HostID) {
+	if ep := c.transport.Endpoint(host); ep != nil {
+		ep.SetDown(false)
+	}
+	c.emit(env.Now(), "host-restart", fmt.Sprintf("host %v", host))
+}
+
+// HostDown reports whether the host is currently crashed.
+func (c *Cluster) HostDown(host rpc.HostID) bool {
+	ep := c.transport.Endpoint(host)
+	return ep != nil && ep.Down()
+}
+
+// destroyProcess fail-stops one process that was executing on the crashed
+// host: tables and the ledger are settled instantly (the state was in the
+// crashed host's memory — there is no orderly teardown to run), stream
+// references the host held are scrubbed, and the process activity is
+// interrupted so it unwinds without simulating any further work.
+func (c *Cluster) destroyProcess(env *sim.Env, p *Process, crashedHost rpc.HostID) {
+	if p.state == StateExited || p.crashed {
+		return
+	}
+	p.crashed = true
+	p.killed = true
+	cur := p.cur
+	for _, kk := range c.kernels {
+		delete(kk.procs, p.pid)
+	}
+	cur.stats.ProcsCrashed++
+	// A process dying mid-migration may already have moved stream
+	// references to a surviving target host; release those one by one —
+	// the crash scrub below only covers the dead host itself.
+	if p.migTarget != nil && p.migTarget.host != crashedHost {
+		for i := len(p.migMoved) - 1; i >= 0; i-- {
+			c.fs.DropRef(p.migMoved[i], p.migTarget.host)
+		}
+	}
+	p.migTarget, p.migMoved = nil, nil
+	streams := p.openStreams()
+	if p.space != nil {
+		for _, seg := range p.space.Segments() {
+			if seg.Backing != nil {
+				streams = append(streams, seg.Backing)
+			}
+		}
+	}
+	for _, st := range streams {
+		st.ScrubHost(crashedHost)
+	}
+	c.noteEnd(p.pid)
+	p.state = StateExited
+	p.exitStatus = CrashStatus
+	if p.home != cur && p.home.host != crashedHost {
+		// The home machine survives: record the crash so a waiting parent
+		// learns the child's fate.
+		p.home.recordExit(p.pid, CrashStatus)
+	}
+	if req := p.migrateReq; req != nil {
+		p.migrateReq = nil
+		req.done.Complete(nil, fmt.Errorf("%w: %v crashed", ErrNoSuchProcess, p.pid))
+	}
+	if w := p.contWaiter; w != nil {
+		p.contWaiter = nil
+		w.Complete(nil, ErrHostCrashed)
+	}
+	p.exited.Complete(CrashStatus, nil)
+	if p.env != nil {
+		p.env.Interrupt(ErrHostCrashed)
+	}
+	c.emit(env.Now(), "proc-crash", fmt.Sprintf("%v %s on %v", p.pid, p.name, crashedHost))
+}
+
+// recoverStreams undoes a partial stream transfer when a migration aborts:
+// every stream already moved is moved back, newest first. If the normal RPC
+// move-back is impossible (the target host crashed — the usual reason for
+// the abort), the source kernel repairs the stream state directly, mirroring
+// Sprite's post-crash RPC recovery.
+func (k *Kernel) recoverStreams(env *sim.Env, moved []*fs.Stream, target *Kernel) {
+	for i := len(moved) - 1; i >= 0; i-- {
+		st := moved[i]
+		if err := target.fsc.MoveStream(env, st, k.host); err != nil {
+			k.cluster.fs.RecoverStream(st, target.host, k.host)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sprite/internal/fs"
+	"sprite/internal/rpc"
+)
+
+// CheckInvariants verifies cluster-wide consistency and returns one message
+// per violation (empty means clean). It is meant to run at quiesce points —
+// when no process is mid-migration and no RPC is in flight — and at the end
+// of a run (endOfRun true adds emptiness checks). It assumes every open
+// stream is owned by a process; drivers that open files directly should not
+// use it mid-run.
+//
+// Checked invariants:
+//
+//   - exactly-once accounting: every started pid exits, or is reported
+//     crashed, exactly once — never zero times (with endOfRun), never twice;
+//   - process-table consistency: a table entry belongs to its kernel (or is
+//     a migration skeleton), is not exited, and is ledger-live;
+//   - stream/server reference conservation: for every file, the open counts
+//     in the server's table equal what surviving processes' streams imply,
+//     host by host — migration and eviction must neither leak nor lose
+//     references; pipe ends must likewise match host for host;
+//   - with endOfRun: no processes, home records, server opens, or pipes
+//     remain, and no dirty cache blocks survive (delegated fs checks).
+func (c *Cluster) CheckInvariants(endOfRun bool) []string {
+	var out []string
+	out = append(out, c.checkLedger(endOfRun)...)
+	out = append(out, c.checkTables(endOfRun)...)
+	out = append(out, c.checkStreamRefs()...)
+	out = append(out, c.fs.CheckInvariants(endOfRun)...)
+	return out
+}
+
+func (c *Cluster) checkLedger(endOfRun bool) []string {
+	var out []string
+	pids := make([]PID, 0, len(c.ledgerStarted))
+	for pid := range c.ledgerStarted {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return less(pids[i], pids[j]) })
+	for _, pid := range pids {
+		started := c.ledgerStarted[pid]
+		ended := c.ledgerEnded[pid]
+		if started != 1 {
+			out = append(out, fmt.Sprintf("ledger: %v started %d times", pid, started))
+		}
+		if ended > 1 {
+			out = append(out, fmt.Sprintf("ledger: %v ended %d times (exit/crash reported more than once)", pid, ended))
+		}
+		if endOfRun && ended == 0 {
+			out = append(out, fmt.Sprintf("ledger: %v started but never exited or crashed", pid))
+		}
+	}
+	ends := make([]PID, 0)
+	for pid := range c.ledgerEnded {
+		if c.ledgerStarted[pid] == 0 {
+			ends = append(ends, pid)
+		}
+	}
+	sort.Slice(ends, func(i, j int) bool { return less(ends[i], ends[j]) })
+	for _, pid := range ends {
+		out = append(out, fmt.Sprintf("ledger: %v ended without ever starting", pid))
+	}
+	return out
+}
+
+func (c *Cluster) checkTables(endOfRun bool) []string {
+	var out []string
+	for _, k := range c.workstations {
+		for _, p := range k.Processes() {
+			switch {
+			case p.state == StateExited:
+				out = append(out, fmt.Sprintf("table: host %v still holds exited %v", k.host, p.pid))
+			case p.cur != k && p.state != StateMigrating:
+				out = append(out, fmt.Sprintf("table: host %v holds %v which runs on %v", k.host, p.pid, p.cur.host))
+			case p.cur == k && c.ledgerEnded[p.pid] > 0:
+				out = append(out, fmt.Sprintf("table: %v is live on %v but the ledger says it ended", p.pid, k.host))
+			}
+		}
+		if endOfRun {
+			if n := len(k.procs); n > 0 {
+				out = append(out, fmt.Sprintf("table: host %v has %d processes at end of run", k.host, n))
+			}
+			if n := len(k.homeRecs); n > 0 {
+				out = append(out, fmt.Sprintf("table: host %v has %d home records at end of run", k.host, n))
+			}
+		}
+	}
+	return out
+}
+
+// checkStreamRefs rebuilds, from surviving processes, the open-reference
+// table every file server should hold, and diffs it against the real one.
+func (c *Cluster) checkStreamRefs() []string {
+	var out []string
+
+	// One server-side open reference exists per (stream, host) pair with a
+	// positive client refcount, counted under the stream's mode class.
+	type refKey struct {
+		fid  fs.FileID
+		host rpc.HostID
+	}
+	expected := make(map[refKey]fs.OpenCount)
+	expReaders := make(map[refKey]bool) // pipe ends expected per host
+	expWriters := make(map[refKey]bool)
+	seen := make(map[fs.StreamID]bool)
+	for _, k := range c.workstations {
+		for _, p := range k.Processes() {
+			if p.cur != k || p.state == StateExited {
+				continue
+			}
+			streams := p.openStreams()
+			if p.space != nil {
+				for _, seg := range p.space.Segments() {
+					if seg.Backing != nil {
+						streams = append(streams, seg.Backing)
+					}
+				}
+			}
+			for _, st := range streams {
+				if seen[st.ID] {
+					continue
+				}
+				seen[st.ID] = true
+				for h, n := range st.Owners() {
+					if n <= 0 {
+						continue
+					}
+					key := refKey{fid: st.FID, host: h}
+					if st.Pipe() {
+						if st.Mode.CanWrite() {
+							expWriters[key] = true
+						} else {
+							expReaders[key] = true
+						}
+						continue
+					}
+					oc := expected[key]
+					if st.Mode.CanWrite() {
+						oc.Writers++
+					} else {
+						oc.Readers++
+					}
+					expected[key] = oc
+				}
+			}
+		}
+	}
+
+	actual := make(map[refKey]fs.OpenCount)
+	actReaders := make(map[refKey]bool)
+	actWriters := make(map[refKey]bool)
+	for _, srv := range c.servers {
+		for fid, hosts := range srv.OpenRefs() {
+			for h, oc := range hosts {
+				actual[refKey{fid: fid, host: h}] = oc
+			}
+		}
+		for _, pi := range srv.Pipes() {
+			fid := fs.FileID{Server: srv.Host(), Ino: pi.Ino}
+			for _, h := range pi.ReaderHosts {
+				actReaders[refKey{fid: fid, host: h}] = true
+			}
+			for _, h := range pi.WriterHosts {
+				actWriters[refKey{fid: fid, host: h}] = true
+			}
+		}
+	}
+
+	keys := make(map[refKey]bool)
+	for k := range expected {
+		keys[k] = true
+	}
+	for k := range actual {
+		keys[k] = true
+	}
+	sorted := make([]refKey, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.fid.Server != b.fid.Server {
+			return a.fid.Server < b.fid.Server
+		}
+		if a.fid.Ino != b.fid.Ino {
+			return a.fid.Ino < b.fid.Ino
+		}
+		return a.host < b.host
+	})
+	for _, k := range sorted {
+		if e, a := expected[k], actual[k]; e != a {
+			out = append(out, fmt.Sprintf("refs: file %v host %v: server holds r=%d w=%d, live streams imply r=%d w=%d",
+				k.fid, k.host, a.Readers, a.Writers, e.Readers, e.Writers))
+		}
+	}
+
+	diffEnds := func(exp, act map[refKey]bool, end string) {
+		keys := make(map[refKey]bool)
+		for k := range exp {
+			keys[k] = true
+		}
+		for k := range act {
+			keys[k] = true
+		}
+		sorted := make([]refKey, 0, len(keys))
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool {
+			a, b := sorted[i], sorted[j]
+			if a.fid.Server != b.fid.Server {
+				return a.fid.Server < b.fid.Server
+			}
+			if a.fid.Ino != b.fid.Ino {
+				return a.fid.Ino < b.fid.Ino
+			}
+			return a.host < b.host
+		})
+		for _, k := range sorted {
+			switch {
+			case exp[k] && !act[k]:
+				out = append(out, fmt.Sprintf("refs: pipe %v: live %s stream on host %v but server lost the end", k.fid, end, k.host))
+			case !exp[k] && act[k]:
+				out = append(out, fmt.Sprintf("refs: pipe %v: server holds a %s end for host %v with no live stream", k.fid, end, k.host))
+			}
+		}
+	}
+	diffEnds(expReaders, actReaders, "reader")
+	diffEnds(expWriters, actWriters, "writer")
+	return out
+}

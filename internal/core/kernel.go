@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -20,6 +21,7 @@ type KernelStats struct {
 	RemoteExecs    uint64
 	ProcsStarted   uint64
 	ProcsExited    uint64
+	ProcsCrashed   uint64
 }
 
 // homeRecord is the state a home kernel keeps for every process whose home
@@ -245,6 +247,7 @@ func (k *Kernel) startProcess(env *sim.Env, name string, prog Program, cfg ProcC
 	}
 	k.procs[pid] = p
 	k.stats.ProcsStarted++
+	k.cluster.noteStart(pid)
 	k.cluster.emit(env.Now(), "proc-start", fmt.Sprintf("%v %s on %v", pid, name, k.host))
 
 	env.Spawn(fmt.Sprintf("proc-%v-%s", pid, name), func(penv *sim.Env) error {
@@ -256,12 +259,19 @@ func (k *Kernel) startProcess(env *sim.Env, name string, prog Program, cfg ProcC
 // runProcess is the body of a process activity: build the image, run the
 // program, tear down.
 func (k *Kernel) runProcess(env *sim.Env, p *Process, cfg ProcConfig) error {
+	p.env = env
 	ctx := &Ctx{proc: p, env: env}
 	if err := p.buildSpace(env, p.name, cfg); err != nil {
+		if p.crashed {
+			return nil // destroyProcess already did the bookkeeping
+		}
 		p.finishExit(env, -1)
 		return fmt.Errorf("proc %v: build space: %w", p.pid, err)
 	}
 	err := p.program(ctx)
+	if p.crashed {
+		return nil
+	}
 	if err == errExit {
 		err = nil
 	}
@@ -273,7 +283,13 @@ func (k *Kernel) runProcess(env *sim.Env, p *Process, cfg ProcConfig) error {
 		p.finishExit(env, -1)
 		return fmt.Errorf("proc %v (%s): %w", p.pid, p.name, err)
 	}
-	return p.exitCleanup(env)
+	if err := p.exitCleanup(env); err != nil {
+		if p.crashed {
+			return nil
+		}
+		return err
+	}
+	return nil
 }
 
 // buildSpace creates the process's address space on its current host.
@@ -350,7 +366,11 @@ func (p *Process) exitCleanup(env *sim.Env) error {
 		if _, err := k.ep.Call(env, p.home.host, "k.exitNotify", exitNotifyArgs{
 			PID: p.pid, Status: p.exitStatus,
 		}, 32); err != nil {
-			return fmt.Errorf("proc %v: exit notify: %w", p.pid, err)
+			// A crashed home machine cannot take the notification; the exit
+			// still completes here (there is no record left to settle there).
+			if !errors.Is(err, rpc.ErrHostDown) && !errors.Is(err, rpc.ErrTimeout) {
+				return fmt.Errorf("proc %v: exit notify: %w", p.pid, err)
+			}
 		}
 	}
 	p.finishExit(env, p.exitStatus)
@@ -362,6 +382,7 @@ func (p *Process) finishExit(env *sim.Env, status int) {
 	k := p.cur
 	delete(k.procs, p.pid)
 	k.stats.ProcsExited++
+	k.cluster.noteEnd(p.pid)
 	k.cluster.emit(env.Now(), "proc-exit", fmt.Sprintf("%v %s status=%d on %v", p.pid, p.name, status, k.host))
 	p.state = StateExited
 	p.exitStatus = status

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"sprite/internal/fs"
 	"sprite/internal/rpc"
 	"sprite/internal/sim"
 	"sprite/internal/vm"
@@ -116,34 +117,67 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 	}
 	p.state = StateMigrating
 	t0 := env.Now()
+	// Expose in-flight progress so crash injection can release stream
+	// references already moved to the target if this host dies mid-flight.
+	p.migTarget = target
+	defer func() { p.migTarget, p.migMoved = nil, nil }()
+
+	// abort undoes a partial migration so the process resumes on the
+	// source: streams already moved come back, a PCB already installed at
+	// the target is discarded there. A process destroyed by a crash of its
+	// own host skips recovery — there is nothing left to resume.
+	var moved []*fs.Stream
+	abort := func(err error) error {
+		if p.crashed {
+			return err
+		}
+		if len(moved) > 0 {
+			k.recoverStreams(env, moved, target)
+		}
+		if _, installed := target.procs[p.pid]; installed {
+			delete(target.procs, p.pid)
+			target.stats.MigrationsIn--
+		}
+		p.state = StateRunning
+		return err
+	}
 
 	// 1. Handshake: version check and skeleton allocation at the target.
 	if err := k.migInit(env, p, target); err != nil {
-		p.state = StateRunning
-		return err
+		return abort(err)
+	}
+	if err := k.cluster.failAt(env, "mig.init", p.pid); err != nil {
+		return abort(err)
 	}
 
 	// 2. Virtual memory, per the configured strategy.
 	tVM := env.Now()
 	if err := k.strategy.Transfer(env, k, target, p, &rec); err != nil {
-		p.state = StateRunning
-		return fmt.Errorf("vm transfer: %w", err)
+		return abort(fmt.Errorf("vm transfer: %w", err))
+	}
+	if err := k.cluster.failAt(env, "mig.vm", p.pid); err != nil {
+		return abort(err)
 	}
 	rec.VMTime = env.Now() - tVM
 
 	// 3. Open streams, coordinated with each I/O server.
 	tF := env.Now()
-	if err := k.transferStreams(env, p, target, &rec); err != nil {
-		p.state = StateRunning
-		return fmt.Errorf("stream transfer: %w", err)
+	var serr error
+	if moved, serr = k.transferStreams(env, p, target, &rec); serr != nil {
+		return abort(fmt.Errorf("stream transfer: %w", serr))
+	}
+	if err := k.cluster.failAt(env, "mig.streams", p.pid); err != nil {
+		return abort(err)
 	}
 	rec.FileTime = env.Now() - tF
 
 	// 4. PCB and residual untyped state.
 	tP := env.Now()
 	if err := k.transferPCB(env, p, target); err != nil {
-		p.state = StateRunning
-		return fmt.Errorf("pcb transfer: %w", err)
+		return abort(fmt.Errorf("pcb transfer: %w", err))
+	}
+	if err := k.cluster.failAt(env, "mig.pcb", p.pid); err != nil {
+		return abort(err)
 	}
 	rec.PCBTime = env.Now() - tP
 
@@ -152,10 +186,19 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 		if _, err := k.ep.Call(env, p.home.host, "k.updateLoc", updateLocArgs{
 			PID: p.pid, Loc: target.host,
 		}, 32); err != nil {
-			return fmt.Errorf("update home: %w", err)
+			return abort(fmt.Errorf("update home: %w", err))
 		}
 	} else if hr := p.home.homeRecs[p.pid]; hr != nil {
 		hr.location = target.host
+	}
+
+	// The target may have crashed after the PCB landed; resuming there
+	// would run the process on a dead host.
+	if k.cluster.HostDown(target.host) {
+		if hr := p.home.homeRecs[p.pid]; hr != nil {
+			hr.location = k.host
+		}
+		return abort(fmt.Errorf("%w: target %v crashed mid-migration", rpc.ErrHostDown, target.host))
 	}
 
 	// 6. Switch the process over and resume.
@@ -202,25 +245,53 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 	}
 	p.state = StateMigrating
 	t0 := env.Now()
-	if err := k.migInit(env, p, target); err != nil {
+	p.migTarget = target
+	defer func() { p.migTarget, p.migMoved = nil, nil }()
+
+	// Same recovery contract as migrateSelf: an aborted exec-time migration
+	// resumes the process on the source (where exec rebuilds the image
+	// locally instead).
+	var moved []*fs.Stream
+	abort := func(err error) error {
+		if p.crashed {
+			return err
+		}
+		if len(moved) > 0 {
+			k.recoverStreams(env, moved, target)
+		}
+		if _, installed := target.procs[p.pid]; installed {
+			delete(target.procs, p.pid)
+			target.stats.MigrationsIn--
+		}
 		p.state = StateRunning
 		return err
+	}
+
+	if err := k.migInit(env, p, target); err != nil {
+		return abort(err)
+	}
+	if err := k.cluster.failAt(env, "mig.init", p.pid); err != nil {
+		return abort(err)
 	}
 	// Discard the old image here; nothing of it moves.
 	if err := p.discardSpace(env); err != nil {
-		p.state = StateRunning
-		return err
+		return abort(err)
 	}
 	tF := env.Now()
-	if err := k.transferStreams(env, p, target, &rec); err != nil {
-		p.state = StateRunning
-		return fmt.Errorf("stream transfer: %w", err)
+	var serr error
+	if moved, serr = k.transferStreams(env, p, target, &rec); serr != nil {
+		return abort(fmt.Errorf("stream transfer: %w", serr))
+	}
+	if err := k.cluster.failAt(env, "mig.streams", p.pid); err != nil {
+		return abort(err)
 	}
 	rec.FileTime = env.Now() - tF
 	tP := env.Now()
 	if err := k.transferPCB(env, p, target); err != nil {
-		p.state = StateRunning
-		return fmt.Errorf("pcb transfer: %w", err)
+		return abort(fmt.Errorf("pcb transfer: %w", err))
+	}
+	if err := k.cluster.failAt(env, "mig.pcb", p.pid); err != nil {
+		return abort(err)
 	}
 	// Exec arguments ride along with the PCB.
 	argBytes := 0
@@ -229,7 +300,7 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 	}
 	if argBytes > 0 {
 		if err := k.cluster.net.Send(env, argBytes); err != nil {
-			return err
+			return abort(err)
 		}
 	}
 	rec.PCBTime = env.Now() - tP
@@ -237,10 +308,18 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 		if _, err := k.ep.Call(env, p.home.host, "k.updateLoc", updateLocArgs{
 			PID: p.pid, Loc: target.host,
 		}, 32); err != nil {
-			return fmt.Errorf("update home: %w", err)
+			return abort(fmt.Errorf("update home: %w", err))
 		}
 	} else if hr := p.home.homeRecs[p.pid]; hr != nil {
 		hr.location = target.host
+	}
+	// The target may have crashed after the PCB landed; resuming there
+	// would run the process on a dead host.
+	if k.cluster.HostDown(target.host) {
+		if hr := p.home.homeRecs[p.pid]; hr != nil {
+			hr.location = k.host
+		}
+		return abort(fmt.Errorf("%w: target %v crashed mid-migration", rpc.ErrHostDown, target.host))
 	}
 	delete(k.procs, p.pid)
 	k.stats.MigrationsOut++
@@ -270,8 +349,10 @@ func (k *Kernel) migInit(env *sim.Env, p *Process, target *Kernel) error {
 
 // transferStreams moves every open stream (including VM backing streams) to
 // the target host, with per-file kernel bookkeeping cost on top of the I/O
-// server coordination performed by the file system.
-func (k *Kernel) transferStreams(env *sim.Env, p *Process, target *Kernel, rec *MigrationRecord) error {
+// server coordination performed by the file system. It returns the streams
+// actually moved so an aborting migration can move them back — on error the
+// partial list covers everything transferred before the failure.
+func (k *Kernel) transferStreams(env *sim.Env, p *Process, target *Kernel, rec *MigrationRecord) ([]*fs.Stream, error) {
 	streams := p.openStreams()
 	if p.space != nil {
 		for _, seg := range p.space.Segments() {
@@ -280,16 +361,19 @@ func (k *Kernel) transferStreams(env *sim.Env, p *Process, target *Kernel, rec *
 			}
 		}
 	}
+	var moved []*fs.Stream
 	for _, st := range streams {
 		if err := k.cpu.Compute(env, k.params.MigPerFileCPU); err != nil {
-			return err
+			return moved, err
 		}
 		if err := k.fsc.MoveStream(env, st, target.host); err != nil {
-			return fmt.Errorf("move %s: %w", st.Path, err)
+			return moved, fmt.Errorf("move %s: %w", st.Path, err)
 		}
+		moved = append(moved, st)
+		p.migMoved = moved
 		rec.Files++
 	}
-	return nil
+	return moved, nil
 }
 
 // transferPCB ships the process control block and installs the process in

@@ -27,10 +27,17 @@ var (
 	ErrVersionMismatch = errors.New("core: migration version mismatch")
 	// ErrNoChildren is returned by Wait when the process has no children.
 	ErrNoChildren = errors.New("core: no children to wait for")
+	// ErrHostCrashed is delivered to a program when the host it runs on (or
+	// its home machine) crashes under fault injection.
+	ErrHostCrashed = errors.New("core: host crashed")
 
 	// errExit is the internal unwinding sentinel used by Ctx.Exit.
 	errExit = errors.New("core: process exited")
 )
+
+// CrashStatus is the exit status recorded for a process destroyed by a host
+// crash (distinct from the -1 used for kills and program errors).
+const CrashStatus = -2
 
 // PID identifies a process. Sprite process ids encode the home machine: a
 // process keeps its pid across migrations and the home field is how other
@@ -107,11 +114,18 @@ type Process struct {
 	exitStatus int
 
 	killed     bool
+	crashed    bool     // destroyed by a host crash; the activity must unwind silently
+	env        *sim.Env // the process activity's Env, for crash interruption
 	pending    []Signal
 	handlers   map[Signal]SignalHandler
 	contWaiter *sim.Future
 	cwd        string
 	migrateReq *migrationRequest
+	// In-flight migration progress, maintained so crash injection can
+	// release stream references a dead mid-migration process already moved
+	// to a surviving target host.
+	migTarget *Kernel
+	migMoved  []*fs.Stream
 	// sharedMemory marks the process as using shared writable memory,
 	// which Sprite refuses to migrate.
 	sharedMemory bool

@@ -112,9 +112,14 @@ func (c *Ctx) enter(call string) error {
 		p.migrateReq = nil
 		if err := p.cur.migrateSelf(c.env, p, req); err != nil {
 			req.done.Complete(nil, err)
-			return fmt.Errorf("migrate %v: %w", p.pid, err)
+			if p.crashed || p.killed {
+				return fmt.Errorf("migrate %v: %w", p.pid, err)
+			}
+			// The abort path restored the process on the source; the
+			// requester learns of the failure, the process runs on.
+		} else {
+			req.done.Complete(p.cur.host, nil)
 		}
-		req.done.Complete(p.cur.host, nil)
 	}
 	// Kernel-call entry is also the signal-delivery point.
 	if err := c.deliverPending(); err != nil {
@@ -209,9 +214,12 @@ func (c *Ctx) Compute(d time.Duration) error {
 			p.migrateReq = nil
 			if err := p.cur.migrateSelf(c.env, p, req); err != nil {
 				req.done.Complete(nil, err)
-				return fmt.Errorf("migrate %v: %w", p.pid, err)
+				if p.crashed || p.killed {
+					return fmt.Errorf("migrate %v: %w", p.pid, err)
+				}
+			} else {
+				req.done.Complete(p.cur.host, nil)
 			}
-			req.done.Complete(p.cur.host, nil)
 		}
 		if err := c.deliverPending(); err != nil {
 			return err
@@ -479,8 +487,14 @@ func (c *Ctx) Exec(name string, prog Program, cfg ProcConfig) error {
 	if req := p.migrateReq; req != nil && req.atExec {
 		p.migrateReq = nil
 		if err := p.cur.migrateForExec(c.env, p, req); err != nil {
-			req.done.Complete(nil, err)
-			return fmt.Errorf("exec-migrate %v: %w", p.pid, err)
+			if p.crashed || p.killed {
+				req.done.Complete(nil, err)
+				return fmt.Errorf("exec-migrate %v: %w", p.pid, err)
+			}
+			// An aborted exec-time migration leaves the process intact on
+			// the source; Sprite demotes it to a plain local exec.
+			p.cur.cluster.emit(c.env.Now(), "exec-migrate-abort",
+				fmt.Sprintf("%v -> %v: %v", p.pid, req.target.host, err))
 		}
 		req.done.Complete(p.cur.host, nil)
 	}

@@ -292,16 +292,24 @@ func TestE14BatchRunsRemotely(t *testing.T) {
 	}
 }
 
+// TestDeterminism runs every experiment driver twice with the same seed and
+// requires byte-identical output rows: the tables are pure functions of the
+// configuration, which is what makes a fuzzer seed a complete reproduction.
 func TestDeterminism(t *testing.T) {
-	a, err := E1MigrationBreakdown(quick())
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := E1MigrationBreakdown(quick())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.String() != b.String() {
-		t.Fatalf("same seed produced different tables:\n%s\nvs\n%s", a, b)
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			a, err := r.Run(quick())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := r.Run(quick())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.String() != b.String() {
+				t.Fatalf("same seed produced different tables:\n%s\nvs\n%s", a, b)
+			}
+		})
 	}
 }

@@ -451,7 +451,6 @@ func (c *Client) readBlock(env *sim.Env, st *Stream, block int) ([]byte, error) 
 func (c *Client) writeRange(env *sim.Env, st *Stream, off int64, data []byte) error {
 	bs := c.fs.params.BlockSize
 	newSize := int(off) + len(data)
-	useCache := c.cacheEnabled(st)
 	// Record the new size first so that any eviction write-back triggered
 	// mid-loop flushes with the correct size.
 	defer c.bumpSize(st, newSize)
@@ -459,6 +458,7 @@ func (c *Client) writeRange(env *sim.Env, st *Stream, off int64, data []byte) er
 		c.fileSize[st.FID] = newSize
 	}
 	pos := 0
+	anyCached := false
 	for pos < len(data) {
 		block := (int(off) + pos) / bs
 		inOff := (int(off) + pos) % bs
@@ -467,18 +467,24 @@ func (c *Client) writeRange(env *sim.Env, st *Stream, off int64, data []byte) er
 			want = len(data) - pos
 		}
 		chunk := data[pos : pos+want]
-		if useCache {
-			if err := c.writeBlockCached(env, st, block, inOff, chunk); err != nil {
+		// Re-decide per block: a consistency callback can disable caching
+		// for this file while an earlier iteration blocked on the network.
+		cached := false
+		if c.cacheEnabled(st) {
+			ok, err := c.writeBlockCached(env, st, block, inOff, chunk)
+			if err != nil {
 				return err
 			}
-			if c.fs.params.WriteThrough {
+			cached = ok
+			if cached && c.fs.params.WriteThrough {
 				if b, ok := c.blocks[cacheKey{fid: st.FID, block: block}]; ok && b.dirty {
 					if err := c.flushBlock(env, b); err != nil {
 						return err
 					}
 				}
 			}
-		} else {
+		}
+		if !cached {
 			reply, err := c.ep.Call(env, st.FID.Server, "fs.write", writeArgs{
 				FID: st.FID, Block: block, Data: chunk, Offset: inOff, NewSize: -1,
 			}, 48+len(chunk))
@@ -489,10 +495,12 @@ func (c *Client) writeRange(env *sim.Env, st *Stream, off int64, data []byte) er
 				c.fileVer[st.FID] = r.Version
 				c.bumpSize(st, r.Size)
 			}
+		} else {
+			anyCached = true
 		}
 		pos += want
 	}
-	if useCache {
+	if anyCached {
 		c.fileMTime[st.FID] = env.Now()
 	}
 	return nil
@@ -509,8 +517,12 @@ func (c *Client) hasDirty(fid FileID) bool {
 }
 
 // writeBlockCached applies a write to the cache (delayed write-back),
-// fetching the block first for a partial overwrite of existing data.
-func (c *Client) writeBlockCached(env *sim.Env, st *Stream, block, inOff int, chunk []byte) error {
+// fetching the block first for a partial overwrite of existing data. It
+// reports false, leaving the cache untouched, if caching was disabled while
+// the fetch blocked — the caller must then write through to the server;
+// dirtying the cache after the disable callback would strand blocks that no
+// flush recall knows about.
+func (c *Client) writeBlockCached(env *sim.Env, st *Stream, block, inOff int, chunk []byte) (bool, error) {
 	bs := c.fs.params.BlockSize
 	key := cacheKey{fid: st.FID, block: block}
 	b, ok := c.blocks[key]
@@ -521,7 +533,10 @@ func (c *Client) writeBlockCached(env *sim.Env, st *Stream, block, inOff int, ch
 		if partial && existsOnServer {
 			fetched, err := c.readBlock(env, st, block)
 			if err != nil {
-				return err
+				return false, err
+			}
+			if !c.cacheEnabled(st) {
+				return false, nil
 			}
 			copy(data, fetched)
 			// readBlock may have inserted the block already.
@@ -536,7 +551,7 @@ func (c *Client) writeBlockCached(env *sim.Env, st *Stream, block, inOff int, ch
 	copy(b.data[inOff:], chunk)
 	b.dirty = true
 	c.lru.MoveToFront(b.elem)
-	return nil
+	return true, nil
 }
 
 // insertBlock adds a block to the cache, evicting as needed.
@@ -825,19 +840,29 @@ func (c *Client) MoveStream(env *sim.Env, st *Stream, to rpc.HostID) error {
 	}
 	if st.pipe {
 		// A pipe's buffer lives at its I/O server; moving an end is pure
-		// bookkeeping there. The server tracks how many hosts hold each
-		// end, so report the net change.
-		delta := 0
+		// bookkeeping there. The server tracks which hosts hold each end,
+		// so report which hosts joined or left the set.
+		migFrom, migTo := rpc.NoHost, rpc.NoHost
+		st.owners[to]++
+		if st.owners[to] == 1 {
+			migTo = to
+		}
 		st.owners[c.host]--
 		if st.owners[c.host] == 0 {
 			delete(st.owners, c.host)
-			delta--
+			migFrom = c.host
 		}
-		st.owners[to]++
-		if st.owners[to] == 1 {
-			delta++
+		if err := c.pipeMigrate(env, st, migFrom, migTo); err != nil {
+			// Undo the local move so abort recovery sees counts that still
+			// match the server's end sets.
+			st.owners[to]--
+			if st.owners[to] == 0 {
+				delete(st.owners, to)
+			}
+			st.owners[c.host]++
+			return err
 		}
-		return c.pipeMigrate(env, st, delta)
+		return nil
 	}
 	if err := c.FlushFile(env, st.FID); err != nil {
 		return err
@@ -861,6 +886,14 @@ func (c *Client) MoveStream(env *sim.Env, st *Stream, to rpc.HostID) error {
 			Share:  share,
 		}, 72)
 		if err != nil {
+			// Undo the local move: abort recovery repairs state from the
+			// stream's reference counts, so they must still say the
+			// reference sits where the server believes it does.
+			st.owners[to]--
+			if st.owners[to] == 0 {
+				delete(st.owners, to)
+			}
+			st.owners[c.host]++
 			return fmt.Errorf("migrate stream %s: %w", st.Path, err)
 		}
 		if r, ok := reply.(openReply); ok {

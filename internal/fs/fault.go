@@ -1,0 +1,363 @@
+package fs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sprite/internal/rpc"
+)
+
+// This file is the file system's half of the fault plane: crash scrubbing
+// (the simulator analogue of Sprite's server recovery protocol, which
+// discards a crashed host's open state), direct-state stream recovery for
+// aborted migrations, and the state exports the cluster invariant checker
+// cross-checks against.
+
+// ScrubHost discards one end of every piece of per-host state this stream
+// holds: the crashed host's references vanish wholesale. Used by crash
+// injection; a stream with no remaining references anywhere is closed.
+func (st *Stream) ScrubHost(host rpc.HostID) {
+	delete(st.owners, host)
+	if st.Refs() == 0 {
+		st.closed = true
+	}
+}
+
+// CrashReset discards all soft state a host's client keeps in memory: the
+// block cache (dirty blocks are lost — that is what a crash means), version
+// and attribute caches, and the prefix table (repopulated by broadcast after
+// restart, as in Sprite).
+func (c *Client) CrashReset() {
+	c.blocks = make(map[cacheKey]*cacheBlock)
+	c.lru.Init()
+	c.fileVer = make(map[FileID]uint64)
+	c.fileSize = make(map[FileID]int)
+	c.fileMTime = make(map[FileID]time.Duration)
+	c.noCache = make(map[FileID]bool)
+	c.prefixCache = nil
+}
+
+// ScrubHost runs this server's recovery for a crashed host: every open
+// reference the host held is discarded, dirty-cache bookkeeping naming the
+// host is cleared, and the host disappears from every pipe end — delivering
+// EOF (no writers left) or EPIPE (no readers left) to blocked survivors.
+func (s *Server) ScrubHost(host rpc.HostID) {
+	for _, fl := range s.files {
+		delete(fl.opens, host)
+		if fl.lastWriter == host {
+			fl.lastWriter = rpc.NoHost
+		}
+	}
+	// Pipes wake blocked waiters, so scrub them in a deterministic order.
+	inos := make([]int, 0, len(s.pipes))
+	for ino := range s.pipes {
+		inos = append(inos, ino)
+	}
+	sort.Ints(inos)
+	for _, ino := range inos {
+		p := s.pipes[ino]
+		delete(p.writerHosts, host)
+		if len(p.writerHosts) == 0 {
+			wakeAll(&p.readWaiters)
+		}
+		delete(p.readerHosts, host)
+		if len(p.readerHosts) == 0 {
+			wakeAll(&p.writeWaiters)
+		}
+		if len(p.readerHosts) == 0 && len(p.writerHosts) == 0 {
+			delete(s.pipes, ino)
+		}
+	}
+}
+
+// ScrubHost applies crash recovery for host across the whole fabric: every
+// server discards the host's open state, and the host's own client forgets
+// its caches.
+func (f *FS) ScrubHost(host rpc.HostID) {
+	hosts := make([]int, 0, len(f.servers))
+	for h := range f.servers {
+		hosts = append(hosts, int(h))
+	}
+	sort.Ints(hosts)
+	for _, h := range hosts {
+		f.servers[rpc.HostID(h)].ScrubHost(host)
+	}
+	if c := f.clients[host]; c != nil {
+		c.CrashReset()
+	}
+}
+
+// RecoverStream repairs a stream whose reference was stranded on a crashed
+// host mid-migration: the client-side references move from -> to, and the
+// owning server's open table is adjusted to match, directly and without
+// charging time (the source kernel's recovery runs against a server that has
+// already scrubbed the crashed host). It is only used by migration abort
+// recovery when the normal RPC path to the stranded host is gone.
+func (f *FS) RecoverStream(st *Stream, from, to rpc.HostID) {
+	n := st.owners[from]
+	if n <= 0 {
+		return
+	}
+	delete(st.owners, from)
+	hadTo := st.owners[to] > 0
+	st.owners[to] += n
+	srv := f.servers[st.FID.Server]
+	if srv == nil || st.pipe {
+		if srv != nil {
+			if p, ok := srv.pipes[st.FID.Ino]; ok {
+				hosts := p.readerHosts
+				if st.Mode.canWrite() {
+					hosts = p.writerHosts
+				}
+				hosts[to] = true
+				delete(hosts, from)
+			}
+		}
+		return
+	}
+	fl, ok := srv.byID[st.FID]
+	if !ok {
+		return
+	}
+	// One server-side open reference per (stream, host) pair: drop the
+	// stranded host's, add the recovering host's if it had none.
+	if o := fl.opens[from]; o != nil {
+		if st.Mode.canWrite() {
+			o.writers--
+		} else {
+			o.readers--
+		}
+		if o.total() <= 0 {
+			delete(fl.opens, from)
+		}
+	}
+	if !hadTo {
+		o := fl.opens[to]
+		if o == nil {
+			o = &openState{}
+			fl.opens[to] = o
+		}
+		if st.Mode.canWrite() {
+			o.writers++
+		} else {
+			o.readers++
+		}
+	}
+}
+
+// DropRef releases one of host's references to st directly, without RPC or
+// simulated time: the client-side count drops by one, and if that was the
+// host's last reference the owning server's open table (or pipe end set)
+// drops the host too, waking pipe waiters exactly as a normal close would.
+// Crash injection uses it to release references a process that died
+// mid-migration had already moved to a surviving target host.
+func (f *FS) DropRef(st *Stream, host rpc.HostID) {
+	if st.owners[host] <= 0 {
+		return
+	}
+	st.owners[host]--
+	last := st.owners[host] == 0
+	if last {
+		delete(st.owners, host)
+	}
+	if st.Refs() == 0 {
+		st.closed = true
+	}
+	if !last {
+		return
+	}
+	srv := f.servers[st.FID.Server]
+	if srv == nil {
+		return
+	}
+	if st.pipe {
+		p, ok := srv.pipes[st.FID.Ino]
+		if !ok {
+			return
+		}
+		if st.Mode.canWrite() {
+			delete(p.writerHosts, host)
+			if len(p.writerHosts) == 0 {
+				wakeAll(&p.readWaiters)
+			}
+		} else {
+			delete(p.readerHosts, host)
+			if len(p.readerHosts) == 0 {
+				wakeAll(&p.writeWaiters)
+			}
+		}
+		if len(p.readerHosts) == 0 && len(p.writerHosts) == 0 {
+			delete(srv.pipes, st.FID.Ino)
+		}
+		return
+	}
+	if fl, ok := srv.byID[st.FID]; ok {
+		if o := fl.opens[host]; o != nil {
+			if st.Mode.canWrite() {
+				o.writers--
+			} else {
+				o.readers--
+			}
+			if o.total() <= 0 {
+				delete(fl.opens, host)
+			}
+		}
+	}
+}
+
+// CanWrite reports whether the mode opens the file for writing (the mode
+// class the server's open table counts it under).
+func (m OpenMode) CanWrite() bool { return m.canWrite() }
+
+// Owners returns a copy of the stream's per-host reference counts, for
+// invariant checking.
+func (st *Stream) Owners() map[rpc.HostID]int {
+	out := make(map[rpc.HostID]int, len(st.owners))
+	for h, n := range st.owners {
+		out[h] = n
+	}
+	return out
+}
+
+// OpenCount is one host's open-reference counts for a file, as the server
+// sees them.
+type OpenCount struct {
+	Readers int
+	Writers int
+}
+
+// OpenRefs exports the server's open table for invariant checking.
+func (s *Server) OpenRefs() map[FileID]map[rpc.HostID]OpenCount {
+	out := make(map[FileID]map[rpc.HostID]OpenCount)
+	for _, fl := range s.files {
+		if len(fl.opens) == 0 {
+			continue
+		}
+		fid := FileID{Server: s.host, Ino: fl.ino}
+		m := make(map[rpc.HostID]OpenCount, len(fl.opens))
+		for h, o := range fl.opens {
+			m[h] = OpenCount{Readers: o.readers, Writers: o.writers}
+		}
+		out[fid] = m
+	}
+	return out
+}
+
+// PipeInfo describes one live pipe for invariant checking.
+type PipeInfo struct {
+	Ino         int
+	ReaderHosts []rpc.HostID
+	WriterHosts []rpc.HostID
+	Buffered    int
+}
+
+// Pipes exports the server's live pipes, hosts sorted, for invariant
+// checking.
+func (s *Server) Pipes() []PipeInfo {
+	out := make([]PipeInfo, 0, len(s.pipes))
+	for ino, p := range s.pipes {
+		out = append(out, PipeInfo{
+			Ino:         ino,
+			ReaderHosts: sortedHosts(p.readerHosts),
+			WriterHosts: sortedHosts(p.writerHosts),
+			Buffered:    len(p.buf),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ino < out[j].Ino })
+	return out
+}
+
+func sortedHosts(set map[rpc.HostID]bool) []rpc.HostID {
+	out := make([]rpc.HostID, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CheckInvariants verifies the file system's own consistency rules and
+// returns one message per violation (empty means clean):
+//
+//   - a host may hold dirty cache blocks for a file only while the server
+//     still believes its cache is valid: the file must be cacheable and the
+//     host must be its last writer or hold it open for writing (the "no
+//     stale dirty blocks after a conflicting remote open" rule);
+//   - no server open entry may have a non-positive total (zombie opens);
+//   - with endOfRun set, every open table and every pipe must be empty.
+func (f *FS) CheckInvariants(endOfRun bool) []string {
+	var out []string
+	srvHosts := make([]int, 0, len(f.servers))
+	for h := range f.servers {
+		srvHosts = append(srvHosts, int(h))
+	}
+	sort.Ints(srvHosts)
+	for _, sh := range srvHosts {
+		srv := f.servers[rpc.HostID(sh)]
+		paths := make([]string, 0, len(srv.files))
+		for p := range srv.files {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			fl := srv.files[path]
+			for h, o := range fl.opens {
+				if o.total() <= 0 {
+					out = append(out, fmt.Sprintf("fs: server %d file %s: zombie open entry for host %v (r=%d w=%d)", sh, path, h, o.readers, o.writers))
+				}
+			}
+			if endOfRun && len(fl.opens) > 0 {
+				out = append(out, fmt.Sprintf("fs: server %d file %s: %d open entries at end of run", sh, path, len(fl.opens)))
+			}
+		}
+		if endOfRun && len(srv.pipes) > 0 {
+			out = append(out, fmt.Sprintf("fs: server %d: %d pipes alive at end of run", sh, len(srv.pipes)))
+		}
+	}
+	cliHosts := make([]int, 0, len(f.clients))
+	for h := range f.clients {
+		cliHosts = append(cliHosts, int(h))
+	}
+	sort.Ints(cliHosts)
+	for _, ch := range cliHosts {
+		c := f.clients[rpc.HostID(ch)]
+		dirty := make(map[FileID]bool)
+		for _, b := range c.blocks {
+			if b.dirty {
+				dirty[b.key.fid] = true
+			}
+		}
+		fids := make([]FileID, 0, len(dirty))
+		for fid := range dirty {
+			fids = append(fids, fid)
+		}
+		sort.Slice(fids, func(i, j int) bool {
+			if fids[i].Server != fids[j].Server {
+				return fids[i].Server < fids[j].Server
+			}
+			return fids[i].Ino < fids[j].Ino
+		})
+		for _, fid := range fids {
+			srv := f.servers[fid.Server]
+			if srv == nil {
+				out = append(out, fmt.Sprintf("fs: host %d: dirty blocks for %v with no server", ch, fid))
+				continue
+			}
+			fl, ok := srv.byID[fid]
+			if !ok {
+				// Removed file: lingering dirty blocks are moot, not stale.
+				continue
+			}
+			if !fl.cacheable {
+				out = append(out, fmt.Sprintf("fs: host %d: stale dirty blocks for uncacheable %s", ch, fl.path))
+				continue
+			}
+			o := fl.opens[rpc.HostID(ch)]
+			if fl.lastWriter != rpc.HostID(ch) && (o == nil || o.writers == 0) {
+				out = append(out, fmt.Sprintf("fs: host %d: dirty blocks for %s but host is neither last writer nor an open writer", ch, fl.path))
+			}
+		}
+	}
+	return out
+}

@@ -17,13 +17,15 @@ import (
 // pipeDefaultCapacity bounds a pipe's in-kernel buffer.
 const pipeDefaultCapacity = 16 * 1024
 
-// pipeState is the server-side representation of one pipe.
+// pipeState is the server-side representation of one pipe. Each end tracks
+// the set of hosts holding references to it, so that a host crash can scrub
+// exactly that host's ends and deliver EOF/EPIPE to survivors.
 type pipeState struct {
-	ino      int
-	buf      []byte
-	capacity int
-	readers  int
-	writers  int
+	ino         int
+	buf         []byte
+	capacity    int
+	readerHosts map[rpc.HostID]bool
+	writerHosts map[rpc.HostID]bool
 
 	readWaiters  []*sim.Future
 	writeWaiters []*sim.Future
@@ -42,13 +44,16 @@ type (
 	pipeCloseArgs struct {
 		Ino    int
 		Writer bool
+		Host   rpc.HostID
 	}
 	pipeAdjustArgs struct {
 		Ino    int
 		Writer bool
-		// Delta adjusts the server's host-reference count for one end when
-		// migration changes which hosts hold references.
-		Delta int
+		// From loses its reference to this end and To gains one; either may
+		// be NoHost when migration does not change that side (the end keeps
+		// or already has references there).
+		From rpc.HostID
+		To   rpc.HostID
 	}
 )
 
@@ -66,10 +71,10 @@ func (s *Server) handlePipeCreate(env *sim.Env, from rpc.HostID, arg any) (any, 
 	}
 	s.inoSeq++
 	p := &pipeState{
-		ino:      s.inoSeq,
-		capacity: pipeDefaultCapacity,
-		readers:  1,
-		writers:  1,
+		ino:         s.inoSeq,
+		capacity:    pipeDefaultCapacity,
+		readerHosts: map[rpc.HostID]bool{from: true},
+		writerHosts: map[rpc.HostID]bool{from: true},
 	}
 	s.pipes[p.ino] = p
 	return pipeCreateReply{Ino: p.ino}, 16, nil
@@ -89,7 +94,7 @@ func (s *Server) handlePipeRead(env *sim.Env, from rpc.HostID, arg any) (any, in
 		return nil, 0, err
 	}
 	for len(p.buf) == 0 {
-		if p.writers == 0 {
+		if len(p.writerHosts) == 0 {
 			return readReply{}, 16, nil // EOF
 		}
 		w := sim.NewFuture(s.fs.sim)
@@ -126,7 +131,7 @@ func (s *Server) handlePipeWrite(env *sim.Env, from rpc.HostID, arg any) (any, i
 	written := 0
 	data := a.Data
 	for len(data) > 0 {
-		if p.readers == 0 {
+		if len(p.readerHosts) == 0 {
 			return nil, 0, fmt.Errorf("%w: pipe %d has no readers", ErrBadStream, a.Ino)
 		}
 		space := p.capacity - len(p.buf)
@@ -160,17 +165,17 @@ func (s *Server) handlePipeClose(env *sim.Env, from rpc.HostID, arg any) (any, i
 		return nil, 0, err
 	}
 	if a.Writer {
-		p.writers--
-		if p.writers == 0 {
+		delete(p.writerHosts, a.Host)
+		if len(p.writerHosts) == 0 {
 			wakeAll(&p.readWaiters) // deliver EOF
 		}
 	} else {
-		p.readers--
-		if p.readers == 0 {
+		delete(p.readerHosts, a.Host)
+		if len(p.readerHosts) == 0 {
 			wakeAll(&p.writeWaiters) // deliver EPIPE
 		}
 	}
-	if p.readers == 0 && p.writers == 0 {
+	if len(p.readerHosts) == 0 && len(p.writerHosts) == 0 {
 		delete(s.pipes, a.Ino)
 	}
 	return nil, 8, nil
@@ -178,7 +183,9 @@ func (s *Server) handlePipeClose(env *sim.Env, from rpc.HostID, arg any) (any, i
 
 // handlePipeMigrate accounts a pipe stream's move between hosts; the
 // buffer stays here at the I/O server, so only reference bookkeeping
-// happens (Delta adjusts the per-end host-reference count).
+// happens. The target host is added before the source is removed so the
+// end never looks transiently unreferenced (which would deliver a
+// spurious EOF/EPIPE to waiters mid-migration).
 func (s *Server) handlePipeMigrate(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
 	a, ok := arg.(pipeAdjustArgs)
 	if !ok {
@@ -188,14 +195,20 @@ func (s *Server) handlePipeMigrate(env *sim.Env, from rpc.HostID, arg any) (any,
 	if err != nil {
 		return nil, 0, err
 	}
+	hosts := p.readerHosts
 	if a.Writer {
-		p.writers += a.Delta
-		if p.writers == 0 {
+		hosts = p.writerHosts
+	}
+	if a.To != rpc.NoHost {
+		hosts[a.To] = true
+	}
+	if a.From != rpc.NoHost {
+		delete(hosts, a.From)
+	}
+	if len(hosts) == 0 {
+		if a.Writer {
 			wakeAll(&p.readWaiters)
-		}
-	} else {
-		p.readers += a.Delta
-		if p.readers == 0 {
+		} else {
 			wakeAll(&p.writeWaiters)
 		}
 	}
@@ -270,14 +283,15 @@ func (c *Client) pipeWrite(env *sim.Env, st *Stream, data []byte) (int, error) {
 // pipeClose drops this host's reference to one pipe end.
 func (c *Client) pipeClose(env *sim.Env, st *Stream) error {
 	_, err := c.ep.Call(env, st.FID.Server, "fs.pipeClose",
-		pipeCloseArgs{Ino: st.FID.Ino, Writer: st.Mode.canWrite()}, 16)
+		pipeCloseArgs{Ino: st.FID.Ino, Writer: st.Mode.canWrite(), Host: c.host}, 16)
 	return err
 }
 
-// pipeMigrate informs the I/O server that one reference moved hosts,
-// passing the net change in hosts holding this end.
-func (c *Client) pipeMigrate(env *sim.Env, st *Stream, delta int) error {
+// pipeMigrate informs the I/O server that one reference moved hosts. From
+// and To name the hosts whose membership in the end's host set changed
+// (NoHost for a side that kept or already had references).
+func (c *Client) pipeMigrate(env *sim.Env, st *Stream, from, to rpc.HostID) error {
 	_, err := c.ep.Call(env, st.FID.Server, "fs.pipeMigrate",
-		pipeAdjustArgs{Ino: st.FID.Ino, Writer: st.Mode.canWrite(), Delta: delta}, 24)
+		pipeAdjustArgs{Ino: st.FID.Ino, Writer: st.Mode.canWrite(), From: from, To: to}, 24)
 	return err
 }

@@ -1,6 +1,7 @@
 package fs
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -118,6 +119,12 @@ type file struct {
 	opens      map[rpc.HostID]*openState
 	lastWriter rpc.HostID // host that may hold dirty blocks in its cache
 	touched    map[int]bool
+	// mu serializes open/close/migrate consistency actions on this file.
+	// An open that blocks mid-handler issuing cache callbacks has not yet
+	// registered its reference; without the monitor lock a concurrent open
+	// or stream migration would read the stale open table and re-enable
+	// caching the blocked open is about to rely on being disabled.
+	mu *sim.Resource
 }
 
 func (fl *file) writersOn(except rpc.HostID) int {
@@ -242,6 +249,7 @@ func (s *Server) create(path string, neverCache bool) *file {
 		cacheable:  !neverCache,
 		opens:      make(map[rpc.HostID]*openState),
 		touched:    make(map[int]bool),
+		mu:         sim.NewResource(s.fs.sim, 1),
 	}
 	s.files[path] = fl
 	s.byID[FileID{Server: s.host, Ino: fl.ino}] = fl
@@ -265,6 +273,10 @@ func (s *Server) handleOpen(env *sim.Env, from rpc.HostID, arg any) (any, int, e
 		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, a.Path)
 	}
 
+	if err := fl.mu.Acquire(env); err != nil {
+		return nil, 0, err
+	}
+	defer fl.mu.Release()
 	// Consistency first: recall dirty blocks or disable caches as needed
 	// [NWO88]. This must precede truncation — a recalled flush of the
 	// previous writer's dirty blocks must not resurrect data into the
@@ -331,6 +343,11 @@ func (s *Server) ensureConsistentOpen(env *sim.Env, fl *file, host rpc.HostID, m
 		fid := FileID{Server: s.host, Ino: fl.ino}
 		for _, t := range targets {
 			if _, err := s.callback(env, t, "fsc.disable", fid); err != nil {
+				// A crashed target has no cache left to disable; its open
+				// state is scrubbed by the crash path.
+				if errors.Is(err, rpc.ErrHostDown) {
+					continue
+				}
 				return err
 			}
 		}
@@ -343,7 +360,9 @@ func (s *Server) ensureConsistentOpen(env *sim.Env, fl *file, host rpc.HostID, m
 			s.stats.FlushRecall++
 			fid := FileID{Server: s.host, Ino: fl.ino}
 			if _, err := s.callback(env, fl.lastWriter, "fsc.flush", fid); err != nil {
-				return err
+				if !errors.Is(err, rpc.ErrHostDown) {
+					return err
+				}
 			}
 			fl.lastWriter = rpc.NoHost
 		}
@@ -366,6 +385,10 @@ func (s *Server) handleClose(env *sim.Env, from rpc.HostID, arg any) (any, int, 
 	if err != nil {
 		return nil, 0, err
 	}
+	if err := fl.mu.Acquire(env); err != nil {
+		return nil, 0, err
+	}
+	defer fl.mu.Release()
 	st := fl.opens[a.Host]
 	if st != nil {
 		if a.Mode.canWrite() {
@@ -540,6 +563,10 @@ func (s *Server) handleMigrateStream(env *sim.Env, from rpc.HostID, arg any) (an
 	if err != nil {
 		return nil, 0, err
 	}
+	if err := fl.mu.Acquire(env); err != nil {
+		return nil, 0, err
+	}
+	defer fl.mu.Release()
 	// Move one open reference from the source to the target host.
 	if st := fl.opens[a.From]; st != nil {
 		if a.Mode.canWrite() {

@@ -1,0 +1,91 @@
+package hostsel
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sprite/internal/fault"
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+)
+
+// TestCentralUnderFaultPlane drives the migd crash/restart scenario through
+// the fault plane instead of poking endpoints directly: first a lossy
+// message window that the RPC retry layer must absorb (selection still
+// succeeds), then a fail-stop of migd's host (selection fails with
+// ErrHostDown), then restart plus re-announcement (service resumes with
+// empty soft state). This is the same restartability argument as
+// TestCentralCrashAndRestart, but exercised end to end through the
+// injection hooks the fuzzer uses.
+func TestCentralUnderFaultPlane(t *testing.T) {
+	c := newCluster(t, 4)
+	migd := rpc.HostID(1)
+	sel := NewCentral(c, migd, DefaultCentralParams())
+	plane := fault.NewPlane(c, 42)
+	defer plane.Detach()
+	c.Boot("boot", func(env *sim.Env) error {
+		if err := warmup(env); err != nil {
+			return err
+		}
+		if err := announceAll(env, c, sel); err != nil {
+			return err
+		}
+		client := c.Workstation(0).Host()
+
+		// Lossy window around migd: a third of the messages touching its
+		// host vanish, and the retry/backoff layer has to carry selection
+		// through anyway.
+		plane.DropMessages(env.Now(), env.Now()+2*time.Second, 0.33, migd)
+		hosts, err := sel.RequestHosts(env, client, 1)
+		if err != nil {
+			return err
+		}
+		if len(hosts) != 1 {
+			t.Fatalf("grant under message loss = %v, want 1 host", hosts)
+		}
+		if err := sel.Release(env, client, hosts); err != nil {
+			return err
+		}
+		if err := env.Sleep(2 * time.Second); err != nil { // window closes
+			return err
+		}
+		if plane.Injected() == 0 {
+			t.Error("drop window injected nothing; fault plane not exercised")
+		}
+
+		// migd's host fail-stops.
+		plane.CrashHost(env, migd)
+		if _, err := sel.RequestHosts(env, client, 1); !errors.Is(err, rpc.ErrHostDown) {
+			t.Errorf("request during crash err = %v, want ErrHostDown", err)
+		}
+
+		// Restart: soft state is gone until hosts re-announce.
+		plane.RestartHost(env, migd)
+		sel.Reset()
+		got, err := sel.RequestHosts(env, client, 1)
+		if err != nil {
+			return err
+		}
+		if len(got) != 0 {
+			t.Errorf("restarted migd granted %v before any announcements", got)
+		}
+		if err := announceAll(env, c, sel); err != nil {
+			return err
+		}
+		got, err = sel.RequestHosts(env, client, 2)
+		if err != nil {
+			return err
+		}
+		if len(got) != 2 {
+			t.Errorf("post-restart grant = %v, want 2 hosts", got)
+		}
+		return sel.Release(env, client, got)
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if v := c.CheckInvariants(true); len(v) != 0 {
+		t.Errorf("invariants violated: %v", v)
+	}
+}

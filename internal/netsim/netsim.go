@@ -8,10 +8,23 @@
 package netsim
 
 import (
+	"errors"
 	"time"
 
 	"sprite/internal/sim"
 )
+
+// ErrDropped is returned by Send when the installed fault hook decides the
+// message is lost. The sender has still been charged for the transmission;
+// it is the delivery that never happens. Callers at the RPC layer translate
+// this into a timeout and retransmission.
+var ErrDropped = errors.New("netsim: message dropped")
+
+// Hook observes every message send and may perturb it: extra is added to the
+// delivery time (congestion, routing flaps) and drop marks the message lost
+// after the sender has paid for the transmission. The hook runs in the
+// sending activity and must be a deterministic function of simulation state.
+type Hook func(env *sim.Env, bytes int) (extra time.Duration, drop bool)
 
 // Params configures the network model.
 type Params struct {
@@ -39,9 +52,12 @@ func DefaultParams() Params {
 type Network struct {
 	params Params
 	medium *sim.Resource
+	hook   Hook
 
 	messages uint64
 	bytes    uint64
+	delayed  uint64
+	dropped  uint64
 }
 
 // New returns a network bound to the simulation.
@@ -69,21 +85,48 @@ func (n *Network) Send(env *sim.Env, bytes int) error {
 	if bytes > 0 {
 		n.bytes += uint64(bytes)
 	}
+	var extra time.Duration
+	var drop bool
+	if n.hook != nil {
+		extra, drop = n.hook(env, bytes)
+		if extra > 0 {
+			n.delayed++
+		}
+	}
 	xfer := n.TransferTime(bytes)
 	if n.medium != nil {
 		if err := n.medium.Use(env, xfer); err != nil {
 			return err
 		}
-		return env.Sleep(n.params.Latency)
+		if err := env.Sleep(n.params.Latency + extra); err != nil {
+			return err
+		}
+	} else if err := env.Sleep(n.params.Latency + xfer + extra); err != nil {
+		return err
 	}
-	return env.Sleep(n.params.Latency + xfer)
+	if drop {
+		n.dropped++
+		return ErrDropped
+	}
+	return nil
 }
+
+// SetHook installs (or, with nil, removes) the fault hook consulted on every
+// Send. With no hook installed, Send behaves exactly as before — the default
+// path stays bit-identical for golden runs.
+func (n *Network) SetHook(h Hook) { n.hook = h }
 
 // Messages returns the number of messages sent so far.
 func (n *Network) Messages() uint64 { return n.messages }
 
 // Bytes returns the cumulative payload bytes sent so far.
 func (n *Network) Bytes() uint64 { return n.bytes }
+
+// Dropped returns the number of messages the fault hook discarded.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// Delayed returns the number of messages the fault hook slowed down.
+func (n *Network) Delayed() uint64 { return n.delayed }
 
 // Params returns the network's configuration.
 func (n *Network) Params() Params { return n.params }

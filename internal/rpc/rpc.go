@@ -37,23 +37,67 @@ var (
 	ErrNoService = errors.New("rpc: no such service")
 	// ErrNoHost is returned when the target host is not registered.
 	ErrNoHost = errors.New("rpc: no such host")
+	// ErrTimeout is returned when a call exhausts its retransmissions without
+	// ever seeing a reply (only reachable under fault injection: with no
+	// injector installed, messages are never lost).
+	ErrTimeout = errors.New("rpc: call timed out")
 )
+
+// Verdict is a fault injector's decision about one call attempt.
+type Verdict struct {
+	// DropRequest loses the request message: the server never sees it and
+	// the client times out and retransmits.
+	DropRequest bool
+	// DropReply loses the reply message: the server processes the call but
+	// the client times out and retransmits; the server's duplicate detection
+	// then resends the cached reply without re-executing the handler
+	// (Sprite RPC's at-most-once semantics, after Birrell & Nelson).
+	DropReply bool
+	// Duplicate delivers the request twice; the server discards the
+	// duplicate but the extra packet is charged to the network.
+	Duplicate bool
+	// Delay adds one-way latency to the request leg.
+	Delay time.Duration
+}
+
+// Injector decides the fate of individual RPC messages. Implementations must
+// be deterministic functions of simulation state; Intercept runs in the
+// calling activity, once per transmission attempt.
+type Injector interface {
+	Intercept(env *sim.Env, from, to HostID, service string, attempt int) Verdict
+}
 
 // Handler is a service implementation. It runs synchronously in the calling
 // activity; reply is the result value and replySize its wire size in bytes.
 type Handler func(env *sim.Env, from HostID, arg any) (reply any, replySize int, err error)
 
-// Params configures per-call software overheads.
+// Params configures per-call software overheads and loss recovery.
 type Params struct {
 	// ClientOverhead is CPU time charged to the caller per call (marshal,
 	// trap, protocol processing on both ends folded together).
 	ClientOverhead time.Duration
+	// CallTimeout is how long the client waits for a reply before
+	// retransmitting. Only lost messages (fault injection) ever make a call
+	// wait this long.
+	CallTimeout time.Duration
+	// MaxRetries is how many retransmissions are attempted after the first
+	// try before the call fails with ErrTimeout.
+	MaxRetries int
+	// RetryBackoff is the extra pause before the first retransmission,
+	// doubling on each subsequent one.
+	RetryBackoff time.Duration
 }
 
 // DefaultParams returns Sun-3-era RPC software overhead (about 1 ms of
-// processing per round trip in addition to two network traversals).
+// processing per round trip in addition to two network traversals), with
+// loss-recovery constants in the spirit of Sprite's RPC channel timeouts.
 func DefaultParams() Params {
-	return Params{ClientOverhead: 1 * time.Millisecond}
+	return Params{
+		ClientOverhead: 1 * time.Millisecond,
+		CallTimeout:    25 * time.Millisecond,
+		MaxRetries:     4,
+		RetryBackoff:   10 * time.Millisecond,
+	}
 }
 
 // CallStats aggregates per-service call accounting.
@@ -70,7 +114,22 @@ type Transport struct {
 	params    Params
 	endpoints map[HostID]*Endpoint
 	stats     map[string]*CallStats
+	injector  Injector
+	retries   uint64
+	timeouts  uint64
 }
+
+// SetInjector installs (or, with nil, removes) the fault injector consulted
+// on every remote call attempt. With no injector, calls never lose messages
+// and the retry machinery is completely inert, keeping default runs
+// bit-identical.
+func (t *Transport) SetInjector(inj Injector) { t.injector = inj }
+
+// Retries returns the number of retransmissions performed so far.
+func (t *Transport) Retries() uint64 { return t.retries }
+
+// Timeouts returns the number of calls that failed with ErrTimeout.
+func (t *Transport) Timeouts() uint64 { return t.timeouts }
 
 // NewTransport returns an empty transport over the given network.
 func NewTransport(s *sim.Simulation, net *netsim.Network, params Params) *Transport {
@@ -164,6 +223,12 @@ func (e *Endpoint) Down() bool { return e.down }
 // Call performs a synchronous RPC from this endpoint's host to the named
 // service on host `to`. argSize and the handler's replySize are charged to
 // the network.
+//
+// Under fault injection a request or reply message can be lost; the client
+// then waits CallTimeout, backs off, and retransmits, up to MaxRetries
+// times. The server executes the handler at most once per call: a
+// retransmission of an already-executed call is answered from the cached
+// reply (duplicate suppression by transaction id, as in Sprite RPC).
 func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSize int) (any, error) {
 	t := e.transport
 	target, ok := t.endpoints[to]
@@ -181,7 +246,7 @@ func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSiz
 		return nil, fmt.Errorf("%w: %s on %v", ErrNoService, service, to)
 	}
 	if e.host == to {
-		// Local shortcut: no network, no protocol overhead.
+		// Local shortcut: no network, no protocol overhead, no faults.
 		reply, _, err := h(env, e.host, arg)
 		t.record(service, 0, err != nil)
 		return reply, err
@@ -189,27 +254,114 @@ func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSiz
 	if err := env.Sleep(t.params.ClientOverhead); err != nil {
 		return nil, err
 	}
-	if err := t.net.Send(env, argSize); err != nil {
-		return nil, err
+	executed := false
+	var reply any
+	var replySize int
+	var herr error
+	for attempt := 0; ; attempt++ {
+		// A host that went down between attempts fails fast, like a channel
+		// reset in Sprite RPC.
+		if target.down || e.down {
+			t.record(service, argSize, true)
+			return nil, fmt.Errorf("%w: %v", ErrHostDown, to)
+		}
+		var v Verdict
+		if t.injector != nil {
+			v = t.injector.Intercept(env, e.host, to, service, attempt)
+		}
+		if v.Delay > 0 {
+			if err := env.Sleep(v.Delay); err != nil {
+				return nil, err
+			}
+		}
+		if v.DropRequest {
+			if err := e.awaitRetry(env, to, service, attempt); err != nil {
+				t.record(service, argSize, true)
+				return nil, err
+			}
+			continue
+		}
+		if err := t.net.Send(env, argSize); err != nil {
+			if errors.Is(err, netsim.ErrDropped) {
+				if rerr := e.awaitRetry(env, to, service, attempt); rerr != nil {
+					t.record(service, argSize, true)
+					return nil, rerr
+				}
+				continue
+			}
+			return nil, err
+		}
+		if !executed {
+			reply, replySize, herr = h(env, e.host, arg)
+			executed = true
+		}
+		if v.Duplicate {
+			// The duplicate request occupies the wire but is discarded by
+			// the server's transaction check; the error (if the medium is
+			// perturbed again) does not affect the call.
+			_ = t.net.Send(env, argSize)
+		}
+		if v.DropReply {
+			if err := e.awaitRetry(env, to, service, attempt); err != nil {
+				t.record(service, argSize, true)
+				return nil, err
+			}
+			continue
+		}
+		if nerr := t.net.Send(env, replySize); nerr != nil {
+			if errors.Is(nerr, netsim.ErrDropped) {
+				if rerr := e.awaitRetry(env, to, service, attempt); rerr != nil {
+					t.record(service, argSize, true)
+					return nil, rerr
+				}
+				continue
+			}
+			return nil, nerr
+		}
+		t.record(service, argSize+replySize, herr != nil)
+		return reply, herr
 	}
-	reply, replySize, err := h(env, e.host, arg)
-	if nerr := t.net.Send(env, replySize); nerr != nil {
-		return nil, nerr
+}
+
+// awaitRetry charges the client the retransmission timeout plus exponential
+// backoff, or fails the call with ErrTimeout once the retry budget is spent.
+func (e *Endpoint) awaitRetry(env *sim.Env, to HostID, service string, attempt int) error {
+	t := e.transport
+	timeout := t.params.CallTimeout
+	if timeout <= 0 {
+		timeout = 25 * time.Millisecond
 	}
-	t.record(service, argSize+replySize, err != nil)
-	return reply, err
+	if err := env.Sleep(timeout); err != nil {
+		return err
+	}
+	if attempt >= t.params.MaxRetries {
+		t.timeouts++
+		return fmt.Errorf("%w: %s to %v after %d attempts", ErrTimeout, service, to, attempt+1)
+	}
+	t.retries++
+	if b := t.params.RetryBackoff; b > 0 {
+		return env.Sleep(b << uint(attempt))
+	}
+	return nil
 }
 
 // Broadcast delivers arg to the named service on every other registered host
 // that is up and implements it, returning the replies keyed by host. It
 // models one multicast packet on the wire plus one reply message per
 // responder.
+// Broadcasts are unreliable datagrams: a host that misses the multicast or
+// whose reply is lost simply looks like a non-responder, so fault injection
+// prunes responders instead of triggering retransmission.
 func (e *Endpoint) Broadcast(env *sim.Env, service string, arg any, argSize int) (map[HostID]any, error) {
 	t := e.transport
 	if err := env.Sleep(t.params.ClientOverhead); err != nil {
 		return nil, err
 	}
 	if err := t.net.Send(env, argSize); err != nil {
+		if errors.Is(err, netsim.ErrDropped) {
+			// The multicast itself was lost; nobody answers.
+			return make(map[HostID]any), nil
+		}
 		return nil, err
 	}
 	replies := make(map[HostID]any)
@@ -225,11 +377,20 @@ func (e *Endpoint) Broadcast(env *sim.Env, service string, arg any, argSize int)
 		if !ok {
 			continue
 		}
+		if t.injector != nil {
+			v := t.injector.Intercept(env, e.host, id, service, 0)
+			if v.DropRequest || v.DropReply {
+				continue
+			}
+		}
 		reply, replySize, err := h(env, e.host, arg)
 		if err != nil {
 			continue
 		}
 		if nerr := t.net.Send(env, replySize); nerr != nil {
+			if errors.Is(nerr, netsim.ErrDropped) {
+				continue
+			}
 			return nil, nerr
 		}
 		t.record(service+".bcast", argSize+replySize, false)

@@ -82,6 +82,7 @@ type activity struct {
 	resume chan struct{} // scheduler -> activity handoff
 	env    *Env
 	wake   *event // pending timer event, cancelled on early wake
+	woken  bool   // a wake event is already queued for this block
 	err    error  // set if the activity's function returned an error
 }
 
@@ -299,6 +300,7 @@ func (e *Env) block() error {
 	e.sim.yield <- struct{}{}
 	<-e.act.resume
 	e.act.state = stateRunning
+	e.act.woken = false
 	err := e.wakeErr
 	e.wakeErr = nil
 	return err
@@ -318,8 +320,12 @@ func (e *Env) Sleep(d time.Duration) error {
 func (e *Env) Yield() error { return e.Sleep(0) }
 
 // wakeNow cancels a pending timer (if any) and schedules an immediate resume.
+// Only the first wake of a given block takes effect: once a resume event is
+// queued, further wakes are no-ops until the activity actually runs again
+// (a second queued resume would later fire as a spurious wakeup while the
+// activity is blocked on something else entirely).
 func (e *Env) wakeNow(err error) {
-	if e.act.state != stateBlocked {
+	if e.act.state != stateBlocked || e.act.woken {
 		return
 	}
 	if e.act.wake != nil { // cancel pending timer
@@ -327,6 +333,26 @@ func (e *Env) wakeNow(err error) {
 		e.act.wake.fn = nil
 		e.act.wake = nil
 	}
+	e.act.woken = true
 	e.wakeErr = err
 	e.sim.schedule(e.sim.now, e.act, nil)
+}
+
+// Interrupt poisons the activity that owns e with err: if it is blocked in
+// any primitive, it is woken immediately and the primitive returns err; if it
+// is ready or running, err is delivered the next time it blocks. Interrupt is
+// the mechanism behind fail-stop fault injection (a crashed host's processes
+// must unwind without running any more simulated work) and must be called
+// from a different activity (or scheduler context), never on one's own Env.
+func (e *Env) Interrupt(err error) {
+	switch e.act.state {
+	case stateBlocked:
+		e.wakeNow(err)
+	case stateDone:
+		// Already finished; nothing to deliver.
+	default:
+		// Ready or running: poison the next block. A ready activity already
+		// has a queued resume event, which will deliver this error.
+		e.wakeErr = err
+	}
 }

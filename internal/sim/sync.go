@@ -44,6 +44,7 @@ func (f *Future) Wait(env *Env) (any, error) {
 	if !f.done {
 		f.waiters = append(f.waiters, env)
 		if werr := env.block(); werr != nil {
+			f.dropWaiter(env)
 			return nil, werr
 		}
 	}
@@ -97,16 +98,21 @@ func NewQueue(s *Simulation) *Queue {
 func (q *Queue) Len() int { return len(q.items) }
 
 // Send enqueues v, waking the oldest waiter if any. Send on a closed queue is
-// a silent no-op (the receiver has gone away).
+// a silent no-op (the receiver has gone away). A waiter already woken with an
+// error cannot consume the item, so the wakeup passes to the next one.
 func (q *Queue) Send(v any) {
 	if q.closed {
 		return
 	}
 	q.items = append(q.items, v)
-	if len(q.waiters) > 0 {
+	for len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
+		if w.act.woken {
+			continue
+		}
 		w.wakeNow(nil)
+		return
 	}
 }
 
@@ -200,14 +206,20 @@ func (r *Resource) Acquire(env *Env) error {
 }
 
 // Release frees a slot. If anyone is waiting, the slot is transferred to the
-// oldest waiter rather than returned to the pool.
+// oldest waiter rather than returned to the pool. A waiter that has already
+// been woken with an error (interrupted by fault injection, say) cannot take
+// the slot — its Acquire will return that error without claiming anything —
+// so it is skipped, not handed a slot it would leak.
 func (r *Resource) Release() {
 	if r.inUse == 0 {
 		return
 	}
-	if len(r.waiters) > 0 {
+	for len(r.waiters) > 0 {
 		w := r.waiters[0]
 		r.waiters = r.waiters[1:]
+		if w.act.woken {
+			continue
+		}
 		w.wakeNow(nil) // slot ownership transfers; inUse stays the same
 		return
 	}
@@ -283,10 +295,20 @@ func (w *WaitGroup) Wait(env *Env) error {
 	for w.count > 0 {
 		w.waiters = append(w.waiters, env)
 		if werr := env.block(); werr != nil {
+			w.dropWaiter(env)
 			return werr
 		}
 	}
 	return nil
+}
+
+func (w *WaitGroup) dropWaiter(env *Env) {
+	for i, e := range w.waiters {
+		if e == env {
+			w.waiters = append(w.waiters[:i], w.waiters[i+1:]...)
+			return
+		}
+	}
 }
 
 // Cond is a broadcast-only condition variable: waiters block until the next
@@ -304,7 +326,20 @@ func NewCond(s *Simulation) *Cond {
 // Wait blocks the activity until the next Broadcast.
 func (c *Cond) Wait(env *Env) error {
 	c.waiters = append(c.waiters, env)
-	return env.block()
+	if werr := env.block(); werr != nil {
+		c.dropWaiter(env)
+		return werr
+	}
+	return nil
+}
+
+func (c *Cond) dropWaiter(env *Env) {
+	for i, e := range c.waiters {
+		if e == env {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
 }
 
 // Broadcast wakes every current waiter.

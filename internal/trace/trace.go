@@ -84,6 +84,27 @@ func (l *Log) Events() []Event {
 	return out
 }
 
+// Tail returns the most recent n retained events, oldest first. It is the
+// view failure reports want: the last few things the cluster did before a
+// check fired.
+func (l *Log) Tail(n int) []Event {
+	if n >= l.size {
+		return l.Events()
+	}
+	if n < 1 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	start := l.next - n
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
 // Dropped returns how many events were evicted from the ring.
 func (l *Log) Dropped() uint64 { return l.dropped }
 

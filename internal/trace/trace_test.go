@@ -26,6 +26,23 @@ func TestRingRetainsNewest(t *testing.T) {
 	}
 }
 
+func TestTail(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 6; i++ { // wraps: ring holds seconds 2..5
+		l.Append(time.Duration(i)*time.Second, "k", "")
+	}
+	tail := l.Tail(2)
+	if len(tail) != 2 || tail[0].At != 4*time.Second || tail[1].At != 5*time.Second {
+		t.Fatalf("Tail(2) = %v", tail)
+	}
+	if got := l.Tail(10); len(got) != 4 {
+		t.Fatalf("Tail(10) len = %d, want all 4 retained", len(got))
+	}
+	if got := l.Tail(0); got != nil {
+		t.Fatalf("Tail(0) = %v, want nil", got)
+	}
+}
+
 func TestFilter(t *testing.T) {
 	l := New(10)
 	l.SetFilter("migration")
