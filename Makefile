@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments examples clean
+.PHONY: all build vet test race cover bench bench-baseline experiments examples clean
 
 all: build vet test
 
@@ -31,9 +31,22 @@ cover:
 		echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; \
 	fi
 
-# One benchmark iteration per reproduced table/figure plus ablations.
+# Benchmarks, in two parts:
+#   1. Go micro-benchmarks across the tree, benchstat-compatible (pipe two
+#      runs through `benchstat old.txt new.txt` to compare).
+#   2. The migration macro-benchmark, emitting BENCH_migration.json and
+#      failing on a >20% total-time regression against the checked-in
+#      baseline (bench/BENCH_migration.json). Virtual time is
+#      deterministic, so the gate is exact, not statistical.
+BENCH_BASELINE ?= bench/BENCH_migration.json
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+	$(GO) test -bench=. -benchmem -benchtime=1x ./... | tee bench.txt
+	$(GO) run ./cmd/migbench -out BENCH_migration.json -baseline $(BENCH_BASELINE)
+
+# Refresh the checked-in migration baseline (run after intentional
+# performance changes, and commit the result).
+bench-baseline:
+	$(GO) run ./cmd/migbench -out $(BENCH_BASELINE)
 
 # Regenerate every reproduced table (see EXPERIMENTS.md).
 experiments:

@@ -1,25 +1,37 @@
 // Command migbench runs migration micro-benchmarks: one migration with a
 // configurable process footprint under each VM transfer strategy, printing
-// the per-component breakdown.
+// the per-phase breakdown (negotiate, VM transfer, stream handoff, PCB,
+// resume) the thesis tabulates.
 //
 // Usage:
 //
 //	migbench -files 4 -dirty-mb 8 [-strategy all|sprite-flush|full-copy|copy-on-reference|pre-copy]
+//	migbench -out BENCH_migration.json [-baseline bench/BENCH_migration.json]
+//
+// -out writes the results as JSON for the benchmark-regression harness
+// (see `make bench`). -baseline compares the run against a previously
+// saved JSON file and exits non-zero if any strategy's total migration
+// time regressed by more than -tolerance (default 20%). A missing
+// baseline file is not an error: the gate arms once a baseline exists.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"time"
 
 	"sprite/internal/core"
-	"sprite/internal/fs"
+	spritefs "sprite/internal/fs"
 	"sprite/internal/sim"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "migbench:", err)
 		os.Exit(1)
 	}
@@ -43,13 +55,45 @@ func strategies(name string) ([]core.TransferStrategy, error) {
 	return nil, fmt.Errorf("unknown strategy %q", name)
 }
 
-func run(args []string) error {
+// benchResult is one strategy's measured migration, as written to the JSON
+// report. Durations are milliseconds of virtual time, so the numbers are
+// deterministic for a given seed and safe to diff across machines.
+type benchResult struct {
+	Strategy    string  `json:"strategy"`
+	TotalMS     float64 `json:"total_ms"`
+	FreezeMS    float64 `json:"freeze_ms"`
+	NegotiateMS float64 `json:"negotiate_ms"`
+	VMMS        float64 `json:"vm_ms"`
+	StreamsMS   float64 `json:"streams_ms"`
+	PCBMS       float64 `json:"pcb_ms"`
+	ResumeMS    float64 `json:"resume_ms"`
+	TouchbackMS float64 `json:"touchback_ms"`
+	VMBytes     int     `json:"vm_bytes"`
+	Files       int     `json:"files"`
+	Residual    bool    `json:"residual"`
+}
+
+// benchReport is the BENCH_migration.json document.
+type benchReport struct {
+	Name    string        `json:"name"`
+	Seed    int64         `json:"seed"`
+	Files   int           `json:"files"`
+	DirtyMB int           `json:"dirty_mb"`
+	Results []benchResult `json:"results"`
+}
+
+func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func run(args []string, w io.Writer) error {
 	flags := flag.NewFlagSet("migbench", flag.ContinueOnError)
 	var (
-		files    = flags.Int("files", 4, "open files at migration time")
-		dirtyMB  = flags.Int("dirty-mb", 8, "dirty heap megabytes at migration time")
-		strategy = flags.String("strategy", "all", "VM transfer strategy (or 'all')")
-		seed     = flags.Int64("seed", 42, "simulation seed")
+		files     = flags.Int("files", 4, "open files at migration time")
+		dirtyMB   = flags.Int("dirty-mb", 8, "dirty heap megabytes at migration time")
+		strategy  = flags.String("strategy", "all", "VM transfer strategy (or 'all')")
+		seed      = flags.Int64("seed", 42, "simulation seed")
+		out       = flags.String("out", "", "write results as JSON to this file")
+		baseline  = flags.String("baseline", "", "compare against this JSON report; missing file disarms the gate")
+		tolerance = flags.Float64("tolerance", 0.20, "allowed fractional total-time regression vs baseline")
 	)
 	if err := flags.Parse(args); err != nil {
 		return err
@@ -58,22 +102,95 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-18s %-10s %-10s %-9s %-9s %-9s %-9s %-8s\n",
-		"strategy", "total", "freeze", "vm", "files", "pcb", "resume", "residual")
+	report := benchReport{Name: "migration", Seed: *seed, Files: *files, DirtyMB: *dirtyMB}
+	fmt.Fprintf(w, "%-18s %-10s %-10s %-9s %-9s %-9s %-9s %-9s %-9s %-8s\n",
+		"strategy", "total", "freeze", "negotiate", "vm", "streams", "pcb", "resume", "touchback", "residual")
 	for _, s := range sts {
-		rec, resume, err := migrateOnce(*seed, s, *files, *dirtyMB)
+		rec, touchback, err := migrateOnce(*seed, s, *files, *dirtyMB)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-18s %-10s %-10s %-9s %-9s %-9s %-9s %-8v\n",
+		r := 100 * time.Microsecond
+		fmt.Fprintf(w, "%-18s %-10s %-10s %-9s %-9s %-9s %-9s %-9s %-9s %-8v\n",
 			s.Name(),
-			rec.Total.Round(100*time.Microsecond),
-			rec.Freeze.Round(100*time.Microsecond),
-			rec.VMTime.Round(100*time.Microsecond),
-			rec.FileTime.Round(100*time.Microsecond),
-			rec.PCBTime.Round(100*time.Microsecond),
-			resume.Round(100*time.Microsecond),
+			rec.Total.Round(r), rec.Freeze.Round(r),
+			rec.NegotiateTime.Round(r), rec.VMTime.Round(r),
+			rec.FileTime.Round(r), rec.PCBTime.Round(r), rec.ResumeTime.Round(r),
+			touchback.Round(r),
 			rec.Residual)
+		report.Results = append(report.Results, benchResult{
+			Strategy:    s.Name(),
+			TotalMS:     msf(rec.Total),
+			FreezeMS:    msf(rec.Freeze),
+			NegotiateMS: msf(rec.NegotiateTime),
+			VMMS:        msf(rec.VMTime),
+			StreamsMS:   msf(rec.FileTime),
+			PCBMS:       msf(rec.PCBTime),
+			ResumeMS:    msf(rec.ResumeTime),
+			TouchbackMS: msf(touchback),
+			VMBytes:     rec.VMBytes,
+			Files:       rec.Files,
+			Residual:    rec.Residual,
+		})
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *out)
+	}
+	if *baseline != "" {
+		if err := checkBaseline(w, report, *baseline, *tolerance); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkBaseline compares the fresh report against a saved one and errors on
+// any strategy whose total migration time regressed beyond tolerance. A
+// missing baseline file only prints a note: the gate arms once someone
+// commits a baseline.
+func checkBaseline(w io.Writer, cur benchReport, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		fmt.Fprintf(w, "no baseline at %s; regression gate disarmed\n", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseBy := make(map[string]benchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Strategy] = r
+	}
+	var regressions []string
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Strategy]
+		if !ok || b.TotalMS <= 0 {
+			continue
+		}
+		ratio := r.TotalMS / b.TotalMS
+		status := "ok"
+		if ratio > 1+tolerance {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: total %.2fms vs baseline %.2fms (%+.1f%%)",
+					r.Strategy, r.TotalMS, b.TotalMS, (ratio-1)*100))
+		}
+		fmt.Fprintf(w, "vs baseline %-18s %.2fms -> %.2fms (%+.1f%%) %s\n",
+			r.Strategy, b.TotalMS, r.TotalMS, (ratio-1)*100, status)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("total migration time regressed >%.0f%%: %v", tolerance*100, regressions)
 	}
 	return nil
 }
@@ -99,11 +216,11 @@ func migrateOnce(seed int64, strategy core.TransferStrategy, files, dirtyMB int)
 		heap = 8
 	}
 	src, dst := c.Workstation(0), c.Workstation(1)
-	var resume time.Duration
+	var touchback time.Duration
 	c.Boot("boot", func(env *sim.Env) error {
 		p, err := src.StartProcess(env, "subject", func(ctx *core.Ctx) error {
 			for i := 0; i < files; i++ {
-				if _, err := ctx.Open(fmt.Sprintf("/data/f%d", i), fs.ReadMode, fs.OpenOptions{}); err != nil {
+				if _, err := ctx.Open(fmt.Sprintf("/data/f%d", i), spritefs.ReadMode, spritefs.OpenOptions{}); err != nil {
 					return err
 				}
 			}
@@ -121,7 +238,7 @@ func migrateOnce(seed int64, strategy core.TransferStrategy, files, dirtyMB int)
 					return err
 				}
 			}
-			resume = ctx.Now() - t0
+			touchback = ctx.Now() - t0
 			return nil
 		}, core.ProcConfig{Binary: "/bin/prog", CodePages: 8, HeapPages: heap, StackPages: 2})
 		if err != nil {
@@ -137,5 +254,5 @@ func migrateOnce(seed int64, strategy core.TransferStrategy, files, dirtyMB int)
 	if len(recs) != 1 {
 		return core.MigrationRecord{}, 0, fmt.Errorf("expected 1 migration, got %d", len(recs))
 	}
-	return recs[0], resume, nil
+	return recs[0], touchback, nil
 }

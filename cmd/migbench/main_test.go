@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchJSONHasPhaseBreakdown: the emitted BENCH_migration.json carries
+// the negotiate / VM / stream-handoff / resume decomposition for all four
+// strategies, and the phases tile the total.
+func TestBenchJSONHasPhaseBreakdown(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_migration.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-dirty-mb", "2", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("results = %d, want all 4 strategies", len(rep.Results))
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		seen[r.Strategy] = true
+		if r.TotalMS <= 0 || r.NegotiateMS <= 0 || r.StreamsMS <= 0 || r.PCBMS <= 0 || r.ResumeMS < 0 {
+			t.Fatalf("%s: non-positive phase fields: %+v", r.Strategy, r)
+		}
+		sum := r.NegotiateMS + r.VMMS + r.StreamsMS + r.PCBMS + r.ResumeMS
+		if diff := sum - r.TotalMS; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("%s: phases sum to %.6f, total %.6f", r.Strategy, sum, r.TotalMS)
+		}
+	}
+	for _, s := range []string{"sprite-flush", "full-copy", "copy-on-reference", "pre-copy"} {
+		if !seen[s] {
+			t.Fatalf("strategy %s missing from report", s)
+		}
+	}
+}
+
+// TestBaselineGate: an inflated baseline passes, a tightened one trips the
+// >20% regression check, and a missing baseline only prints a note.
+func TestBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "cur.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-dirty-mb", "1", "-strategy", "sprite-flush", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+
+	writeBaseline := func(scale float64) string {
+		b := rep
+		b.Results = append([]benchResult(nil), rep.Results...)
+		for i := range b.Results {
+			b.Results[i].TotalMS *= scale
+		}
+		p := filepath.Join(dir, "baseline.json")
+		enc, _ := json.Marshal(b)
+		if err := os.WriteFile(p, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Same numbers: identical run, deterministic simulation — must pass.
+	p := writeBaseline(1.0)
+	if err := run([]string{"-dirty-mb", "1", "-strategy", "sprite-flush", "-baseline", p}, &buf); err != nil {
+		t.Fatalf("identical baseline failed the gate: %v", err)
+	}
+	// Baseline 40% faster than reality: the gate must trip.
+	p = writeBaseline(1 / 1.4)
+	err = run([]string{"-dirty-mb", "1", "-strategy", "sprite-flush", "-baseline", p}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("gate did not trip on a 40%% regression: %v", err)
+	}
+	// Missing baseline: disarmed, not an error.
+	buf.Reset()
+	if err := run([]string{"-dirty-mb", "1", "-strategy", "sprite-flush", "-baseline", filepath.Join(dir, "nope.json")}, &buf); err != nil {
+		t.Fatalf("missing baseline errored: %v", err)
+	}
+	if !strings.Contains(buf.String(), "disarmed") {
+		t.Fatalf("missing baseline note absent:\n%s", buf.String())
+	}
+}

@@ -4,8 +4,11 @@
 // Usage:
 //
 //	spritesim -list
-//	spritesim -experiment E5 [-seed 42] [-quick]
+//	spritesim -experiment E5 [-seed 42] [-quick] [-metrics]
 //	spritesim -all [-quick]
+//
+// -metrics appends every cluster's metrics snapshot (RPC traffic, cache
+// behaviour, migration phase timings) under the corresponding table.
 package main
 
 import (
@@ -29,13 +32,14 @@ func run(args []string) error {
 		list  = fs.Bool("list", false, "list available experiments")
 		expID = fs.String("experiment", "", "experiment id to run (E1..E14)")
 		all   = fs.Bool("all", false, "run every experiment")
-		seed  = fs.Int64("seed", 42, "simulation seed")
-		quick = fs.Bool("quick", false, "smaller parameter sweeps")
+		seed    = fs.Int64("seed", 42, "simulation seed")
+		quick   = fs.Bool("quick", false, "smaller parameter sweeps")
+		metrics = fs.Bool("metrics", false, "append each cluster's metrics snapshot to the tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Metrics: *metrics}
 	switch {
 	case *list:
 		for _, r := range experiments.All() {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sprite/internal/fs"
+	"sprite/internal/metrics"
 	"sprite/internal/netsim"
 	"sprite/internal/rpc"
 	"sprite/internal/sim"
@@ -41,6 +42,12 @@ type Cluster struct {
 	workstations []*Kernel
 	servers      []*fs.Server
 
+	// metrics is the cluster-wide metrics plane. It is always present —
+	// every instrument is an atomic add or a mutex-guarded histogram
+	// insert, and none of them touches virtual time, so carrying it
+	// unconditionally cannot perturb an experiment.
+	metrics *metrics.Registry
+
 	trace TraceFunc
 
 	// failpoint, when set, is consulted at named migration steps (fault
@@ -58,8 +65,12 @@ type Cluster struct {
 // ready-made ring-buffer sink.
 type TraceFunc func(at time.Duration, kind, detail string)
 
-// SetTrace installs an event sink (nil disables tracing).
-func (c *Cluster) SetTrace(fn TraceFunc) { c.trace = fn }
+// SetTrace installs an event sink (nil disables tracing). Finished metric
+// spans (migration phases, etc.) land in the same sink as "span" events.
+func (c *Cluster) SetTrace(fn TraceFunc) {
+	c.trace = fn
+	c.metrics.SetTrace(fn)
+}
 
 // emit records a trace event if a sink is installed.
 func (c *Cluster) emit(at time.Duration, kind, detail string) {
@@ -84,6 +95,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 	net := netsim.New(s, params.Net)
 	transport := rpc.NewTransport(s, net, params.RPC)
 	fsys := fs.New(s, transport, params.FS)
+	reg := metrics.New()
+	transport.SetMetrics(reg)
+	fsys.SetMetrics(reg)
 
 	c := &Cluster{
 		sim:           s,
@@ -91,6 +105,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		net:           net,
 		transport:     transport,
 		fs:            fsys,
+		metrics:       reg,
 		kernels:       make(map[rpc.HostID]*Kernel),
 		ledgerStarted: make(map[PID]int),
 		ledgerEnded:   make(map[PID]int),
@@ -129,6 +144,54 @@ func (c *Cluster) Network() *netsim.Network { return c.net }
 
 // Transport returns the RPC fabric.
 func (c *Cluster) Transport() *rpc.Transport { return c.transport }
+
+// Metrics returns the cluster-wide metrics registry. Subsystems (rpc, fs,
+// migration) feed it continuously; derived statistics kept elsewhere are
+// folded in by MetricsSnapshot.
+func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
+
+// MetricsSnapshot folds every derived statistic the cluster keeps outside
+// the registry — scheduler counters, per-kernel migration tallies, per-file-
+// server activity, per-RPC-service traffic — into gauges, then returns a
+// deterministic point-in-time snapshot. Two same-seed runs produce
+// byte-identical Text()/JSON() renderings.
+func (c *Cluster) MetricsSnapshot() metrics.Snapshot {
+	r := c.metrics
+	ss := c.sim.Stats()
+	r.Gauge("sim.events_dispatched").Set(int64(ss.EventsDispatched))
+	r.Gauge("sim.context_switches").Set(int64(ss.ContextSwitches))
+	r.Gauge("sim.max_queue_depth").Set(int64(ss.MaxQueueDepth))
+	r.Gauge("sim.activities_spawned").Set(int64(ss.Spawned))
+	for host, k := range c.kernels {
+		pre := fmt.Sprintf("kernel.%v.", host)
+		st := k.Stats()
+		r.Gauge(pre + "migrations_out").Set(int64(st.MigrationsOut))
+		r.Gauge(pre + "migrations_in").Set(int64(st.MigrationsIn))
+		r.Gauge(pre + "evictions").Set(int64(st.Evictions))
+		r.Gauge(pre + "forwarded_calls").Set(int64(st.ForwardedCalls))
+		r.Gauge(pre + "remote_execs").Set(int64(st.RemoteExecs))
+		r.Gauge(pre + "procs_started").Set(int64(st.ProcsStarted))
+		r.Gauge(pre + "procs_exited").Set(int64(st.ProcsExited))
+		r.Gauge(pre + "procs_crashed").Set(int64(st.ProcsCrashed))
+	}
+	for host, srv := range c.fs.Servers() {
+		pre := fmt.Sprintf("fsserver.%v.", host)
+		st := srv.Stats()
+		r.Gauge(pre + "lookups").Set(int64(st.Lookups))
+		r.Gauge(pre + "blocks_read").Set(int64(st.BlocksRead))
+		r.Gauge(pre + "blocks_written").Set(int64(st.BlocksWrite))
+		r.Gauge(pre + "cold_reads").Set(int64(st.ColdReads))
+		r.Gauge(pre + "flush_recalls").Set(int64(st.FlushRecall))
+		r.Gauge(pre + "cache_disables").Set(int64(st.Disables))
+	}
+	for svc, st := range c.transport.Stats() {
+		pre := "rpc.service." + svc + "."
+		r.Gauge(pre + "calls").Set(int64(st.Calls))
+		r.Gauge(pre + "bytes").Set(int64(st.Bytes))
+		r.Gauge(pre + "errs").Set(int64(st.Errs))
+	}
+	return r.Snapshot()
+}
 
 // Workstations returns the workstation kernels in host order.
 func (c *Cluster) Workstations() []*Kernel {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"sprite/internal/fs"
 	"sprite/internal/rpc"
@@ -25,6 +26,10 @@ import (
 //     in the server's table equal what surviving processes' streams imply,
 //     host by host — migration and eviction must neither leak nor lose
 //     references; pipe ends must likewise match host for host;
+//   - migration-metrics conservation: every migration the metrics plane
+//     saw start was retired exactly once (completed or aborted, phase
+//     counters included), and at a quiesce point none is still in flight —
+//     an abort path that forgot its rollback shows up here as a leak;
 //   - with endOfRun: no processes, home records, server opens, or pipes
 //     remain, and no dirty cache blocks survive (delegated fs checks).
 func (c *Cluster) CheckInvariants(endOfRun bool) []string {
@@ -32,7 +37,43 @@ func (c *Cluster) CheckInvariants(endOfRun bool) []string {
 	out = append(out, c.checkLedger(endOfRun)...)
 	out = append(out, c.checkTables(endOfRun)...)
 	out = append(out, c.checkStreamRefs()...)
+	out = append(out, c.checkMigrationMetrics()...)
 	out = append(out, c.fs.CheckInvariants(endOfRun)...)
+	return out
+}
+
+// checkMigrationMetrics cross-checks the metrics plane against itself: the
+// started counter must equal completed + aborted + the in-flight gauge, the
+// per-phase abort counters must sum to the total abort counter, and at a
+// quiesce point (where this checker is defined to run) the in-flight gauge
+// must be zero.
+func (c *Cluster) checkMigrationMetrics() []string {
+	var out []string
+	snap := c.metrics.Snapshot()
+	started := snap.Counters["mig.started"]
+	completed := snap.Counters["mig.completed"]
+	aborted := snap.Counters["mig.aborted"]
+	inflight := int64(0)
+	if g, ok := snap.Gauges["mig.inflight"]; ok {
+		inflight = g.Value
+	}
+	if inflight != 0 {
+		out = append(out, fmt.Sprintf("metrics: mig.inflight = %d at a quiesce point", inflight))
+	}
+	if started != completed+aborted+inflight {
+		out = append(out, fmt.Sprintf("metrics: mig.started %d != completed %d + aborted %d + inflight %d",
+			started, completed, aborted, inflight))
+	}
+	var byPhase int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "mig.aborted.") {
+			byPhase += v
+		}
+	}
+	if byPhase != aborted {
+		out = append(out, fmt.Sprintf("metrics: per-phase abort counters sum to %d, mig.aborted = %d",
+			byPhase, aborted))
+	}
 	return out
 }
 

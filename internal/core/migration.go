@@ -26,10 +26,15 @@ type MigrationRecord struct {
 	Total  time.Duration
 	Freeze time.Duration
 
-	// VMTime, FileTime, PCBTime decompose Total.
-	VMTime   time.Duration
-	FileTime time.Duration
-	PCBTime  time.Duration
+	// NegotiateTime, VMTime, FileTime, PCBTime, ResumeTime decompose
+	// Total: the handshake, the VM strategy's work, the open-stream moves,
+	// the PCB shipment, and the tail (home-machine update plus the final
+	// switch-over).
+	NegotiateTime time.Duration
+	VMTime        time.Duration
+	FileTime      time.Duration
+	PCBTime       time.Duration
+	ResumeTime    time.Duration
 
 	// VMBytes counts bytes moved at migration time (flush or direct copy).
 	VMBytes int
@@ -122,12 +127,17 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 	p.migTarget = target
 	defer func() { p.migTarget, p.migMoved = nil, nil }()
 
+	mm := newMigMeter(k.cluster.metrics)
+
 	// abort undoes a partial migration so the process resumes on the
 	// source: streams already moved come back, a PCB already installed at
 	// the target is discarded there. A process destroyed by a crash of its
-	// own host skips recovery — there is nothing left to resume.
+	// own host skips recovery — there is nothing left to resume. The
+	// metrics rollback always runs: an aborted migration must not leave a
+	// phase timing or a dangling in-flight count behind.
 	var moved []*fs.Stream
 	abort := func(err error) error {
+		mm.abort(env)
 		if p.crashed {
 			return err
 		}
@@ -143,12 +153,14 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 	}
 
 	// 1. Handshake: version check and skeleton allocation at the target.
+	mm.next(env, "negotiate")
 	if err := k.migInit(env, p, target); err != nil {
 		return abort(err)
 	}
 	if err := k.cluster.failAt(env, "mig.init", p.pid); err != nil {
 		return abort(err)
 	}
+	rec.NegotiateTime = mm.next(env, "vm."+rec.Strategy)
 
 	// 2. Virtual memory, per the configured strategy.
 	tVM := env.Now()
@@ -159,6 +171,7 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 		return abort(err)
 	}
 	rec.VMTime = env.Now() - tVM
+	mm.next(env, "streams")
 
 	// 3. Open streams, coordinated with each I/O server.
 	tF := env.Now()
@@ -170,6 +183,7 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 		return abort(err)
 	}
 	rec.FileTime = env.Now() - tF
+	mm.next(env, "pcb")
 
 	// 4. PCB and residual untyped state.
 	tP := env.Now()
@@ -180,6 +194,7 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 		return abort(err)
 	}
 	rec.PCBTime = env.Now() - tP
+	mm.next(env, "resume")
 
 	// 5. Tell the home machine where the process now lives.
 	if p.home != target {
@@ -211,6 +226,7 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 		p.space.SetPagerAll(k.strategy.TargetPager(k, target))
 	}
 
+	rec.ResumeTime = mm.complete(env)
 	rec.Total = env.Now() - t0
 	if rec.Freeze == 0 {
 		rec.Freeze = rec.Total
@@ -219,6 +235,7 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 		// only for its final pass; stream and PCB transfer freeze it too.
 		rec.Freeze += rec.FileTime + rec.PCBTime
 	}
+	mm.observeTotals(&rec)
 	k.records = append(k.records, rec)
 	k.cluster.emit(env.Now(), "migration",
 		fmt.Sprintf("%v %v->%v (%s, %s) total=%v vm=%dB files=%d",
@@ -248,11 +265,15 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 	p.migTarget = target
 	defer func() { p.migTarget, p.migMoved = nil, nil }()
 
+	mm := newMigMeter(k.cluster.metrics)
+
 	// Same recovery contract as migrateSelf: an aborted exec-time migration
 	// resumes the process on the source (where exec rebuilds the image
-	// locally instead).
+	// locally instead). As there, the metrics rollback runs even for a
+	// crash-destroyed process.
 	var moved []*fs.Stream
 	abort := func(err error) error {
+		mm.abort(env)
 		if p.crashed {
 			return err
 		}
@@ -267,6 +288,7 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 		return err
 	}
 
+	mm.next(env, "negotiate")
 	if err := k.migInit(env, p, target); err != nil {
 		return abort(err)
 	}
@@ -277,6 +299,7 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 	if err := p.discardSpace(env); err != nil {
 		return abort(err)
 	}
+	rec.NegotiateTime = mm.next(env, "streams")
 	tF := env.Now()
 	var serr error
 	if moved, serr = k.transferStreams(env, p, target, &rec); serr != nil {
@@ -286,6 +309,7 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 		return abort(err)
 	}
 	rec.FileTime = env.Now() - tF
+	mm.next(env, "pcb")
 	tP := env.Now()
 	if err := k.transferPCB(env, p, target); err != nil {
 		return abort(fmt.Errorf("pcb transfer: %w", err))
@@ -304,6 +328,7 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 		}
 	}
 	rec.PCBTime = env.Now() - tP
+	mm.next(env, "resume")
 	if p.home != target {
 		if _, err := k.ep.Call(env, p.home.host, "k.updateLoc", updateLocArgs{
 			PID: p.pid, Loc: target.host,
@@ -327,8 +352,10 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 	p.cur = target
 	p.migrations++
 	p.state = StateRunning
+	rec.ResumeTime = mm.complete(env)
 	rec.Total = env.Now() - t0
 	rec.Freeze = rec.Total
+	mm.observeTotals(&rec)
 	k.records = append(k.records, rec)
 	k.cluster.emit(env.Now(), "exec-migration",
 		fmt.Sprintf("%v %v->%v (%s) total=%v", p.pid, rec.From, rec.To, rec.Reason, rec.Total))

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"sprite/internal/core"
 )
 
 // Config controls an experiment run.
@@ -17,6 +19,10 @@ type Config struct {
 	Seed int64
 	// Quick shrinks sweeps for use inside benchmarks.
 	Quick bool
+	// Metrics attaches each cluster's metrics snapshot to the table
+	// (rendered after the notes). Off by default, so standard outputs are
+	// byte-identical with or without the metrics plane.
+	Metrics bool
 }
 
 // Table is one reproduced table or figure, as labeled rows.
@@ -27,6 +33,9 @@ type Table struct {
 	Columns  []string
 	Rows     [][]string
 	Notes    []string
+	// Metrics holds one rendered metrics snapshot per cluster the
+	// experiment ran (populated only when Config.Metrics is set).
+	Metrics []string
 }
 
 // AddRow appends one formatted row.
@@ -37,6 +46,24 @@ func (t *Table) AddRow(cells ...string) {
 // AddNote appends a free-text note rendered under the table.
 func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// CaptureMetrics attaches the cluster's metrics snapshot to the table when
+// cfg.Metrics is set (a no-op otherwise). The label distinguishes the
+// several clusters one experiment may build — sweeps label each point.
+func (t *Table) CaptureMetrics(cfg Config, label string, c *core.Cluster) {
+	if !cfg.Metrics {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics %s [%s]:\n", t.ID, label)
+	text := strings.TrimRight(c.MetricsSnapshot().Text(), "\n")
+	for _, line := range strings.Split(text, "\n") {
+		b.WriteString("  ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	t.Metrics = append(t.Metrics, b.String())
 }
 
 // String renders the table as aligned text.
@@ -82,6 +109,9 @@ func (t *Table) String() string {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, m := range t.Metrics {
+		b.WriteString(m)
 	}
 	return b.String()
 }

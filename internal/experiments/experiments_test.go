@@ -6,7 +6,10 @@ import (
 	"testing"
 )
 
-func quick() Config { return Config{Seed: 42, Quick: true} }
+// quick enables Metrics so TestDeterminism doubles as the golden check
+// that MetricsSnapshot is byte-identical across same-seed runs of every
+// experiment driver.
+func quick() Config { return Config{Seed: 42, Quick: true, Metrics: true} }
 
 // cell parses a numeric cell.
 func cell(t *testing.T, tbl *Table, row, col int) float64 {
@@ -295,6 +298,8 @@ func TestE14BatchRunsRemotely(t *testing.T) {
 // TestDeterminism runs every experiment driver twice with the same seed and
 // requires byte-identical output rows: the tables are pure functions of the
 // configuration, which is what makes a fuzzer seed a complete reproduction.
+// quick() turns metrics capture on, so the comparison also proves each
+// driver's MetricsSnapshot renders byte-identically across same-seed runs.
 func TestDeterminism(t *testing.T) {
 	for _, r := range All() {
 		r := r
@@ -310,6 +315,39 @@ func TestDeterminism(t *testing.T) {
 			if a.String() != b.String() {
 				t.Fatalf("same seed produced different tables:\n%s\nvs\n%s", a, b)
 			}
+			// Every cluster-running driver must actually surface metrics
+			// (E12 is a static census with no cluster).
+			if r.ID != "E12" && len(a.Metrics) == 0 {
+				t.Fatalf("%s captured no metrics sections", r.ID)
+			}
 		})
+	}
+}
+
+// TestMetricsOffLeavesTablesUnchanged pins the inert-by-default contract:
+// with Config.Metrics unset the rendered table is byte-identical to a
+// metrics-enabled run with its metrics section stripped — the plane may
+// observe an experiment, never perturb it.
+func TestMetricsOffLeavesTablesUnchanged(t *testing.T) {
+	cfg := quick()
+	cfg.Metrics = false
+	plain, err := E1MigrationBreakdown(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Metrics) != 0 {
+		t.Fatal("metrics sections captured with Metrics off")
+	}
+	metered, err := E1MigrationBreakdown(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metered.Metrics) == 0 {
+		t.Fatal("no metrics sections captured with Metrics on")
+	}
+	stripped := *metered
+	stripped.Metrics = nil
+	if plain.String() != stripped.String() {
+		t.Fatalf("metrics capture changed the table:\n%s\nvs\n%s", plain, &stripped)
 	}
 }

@@ -15,8 +15,10 @@ import (
 )
 
 // runPmakeOn builds a fresh cluster with the given number of usable hosts
-// and runs one synthetic project across them.
-func runPmakeOn(seed int64, hosts int, proj pmake.ProjectParams) (*pmake.Result, time.Duration, error) {
+// and runs one synthetic project across them, capturing metrics into t
+// when enabled.
+func runPmakeOn(cfg Config, t *Table, label string, hosts int, proj pmake.ProjectParams) (*pmake.Result, time.Duration, error) {
+	seed := cfg.Seed
 	c, err := core.NewCluster(core.Options{Workstations: hosts, FileServers: 1, Seed: seed})
 	if err != nil {
 		return nil, 0, err
@@ -50,6 +52,7 @@ func runPmakeOn(seed int64, hosts int, proj pmake.ProjectParams) (*pmake.Result,
 	if err := c.Run(0); err != nil {
 		return nil, 0, err
 	}
+	t.CaptureMetrics(cfg, label, c)
 	return res, c.Servers()[0].CPUBusy(), nil
 }
 
@@ -73,7 +76,7 @@ func E5PmakeSpeedup(cfg Config) (*Table, error) {
 	}
 	var base time.Duration
 	for _, h := range sweep {
-		res, serverBusy, err := runPmakeOn(cfg.Seed, h, proj)
+		res, serverBusy, err := runPmakeOn(cfg, t, fmt.Sprintf("hosts=%d", h), h, proj)
 		if err != nil {
 			return nil, err
 		}
@@ -167,13 +170,14 @@ func E6Utilization(cfg Config) (*Table, error) {
 	if err := c.Run(0); err != nil {
 		return nil, err
 	}
+	t.CaptureMetrics(cfg, "independent-simulations", c)
 	simTotalCPU := time.Duration(simJobs) * simCPU
 	simUtil := float64(simTotalCPU) / float64(makespan) * 100
 	t.AddRow("independent simulations", fmt.Sprintf("%d", simJobs), fmt.Sprintf("%d", hosts),
 		secs(simTotalCPU), secs(makespan), fmt.Sprintf("%.0f", simUtil))
 
 	// 12-way pmake on the same cluster size.
-	res, _, err := runPmakeOn(cfg.Seed, hosts, proj)
+	res, _, err := runPmakeOn(cfg, t, "parallel-compilation", hosts, proj)
 	if err != nil {
 		return nil, err
 	}
@@ -272,6 +276,7 @@ func E7SelectionLatency(cfg Config) (*Table, error) {
 	}
 	c.Stop()
 	_ = c.Run(0)
+	t.CaptureMetrics(cfg, "idle-cluster", c)
 	for _, r := range rows {
 		if r == nil {
 			continue
@@ -364,6 +369,7 @@ func E8SelectionArchitectures(cfg Config) (*Table, error) {
 			}
 			c.Stop()
 			_ = c.Run(0)
+			t.CaptureMetrics(cfg, fmt.Sprintf("%s hosts=%d", sel.Name(), n), c)
 			st := sel.Stats()
 			t.AddRow(sel.Name(), fmt.Sprintf("%d", n),
 				fmt.Sprintf("%.0f", float64(st.Messages)/duration.Minutes()),

@@ -35,9 +35,10 @@ func newPairCluster(seed int64) (*core.Cluster, error) {
 }
 
 // measureMigration runs one migration with the given open files and dirty
-// heap and returns its record.
-func measureMigration(seed int64, strategy core.TransferStrategy, files, dirtyPages int) (core.MigrationRecord, time.Duration, error) {
-	c, err := newPairCluster(seed)
+// heap and returns its record. When cfg.Metrics is set the cluster's
+// snapshot lands in t under the given label.
+func measureMigration(cfg Config, t *Table, label string, strategy core.TransferStrategy, files, dirtyPages int) (core.MigrationRecord, time.Duration, error) {
+	c, err := newPairCluster(cfg.Seed)
 	if err != nil {
 		return core.MigrationRecord{}, 0, err
 	}
@@ -92,6 +93,7 @@ func measureMigration(seed int64, strategy core.TransferStrategy, files, dirtyPa
 	if len(recs) != 1 {
 		return core.MigrationRecord{}, 0, fmt.Errorf("expected 1 migration, got %d", len(recs))
 	}
+	t.CaptureMetrics(cfg, label, c)
 	return recs[0], resume, nil
 }
 
@@ -116,7 +118,8 @@ func E1MigrationBreakdown(cfg Config) (*Table, error) {
 	totals := make(map[key]time.Duration)
 	for _, f := range fileSweep {
 		for _, m := range vmSweep {
-			rec, _, err := measureMigration(cfg.Seed, core.SpriteFlushStrategy{}, f, m*mb/pageSize)
+			rec, _, err := measureMigration(cfg, t, fmt.Sprintf("files=%d dirtyMB=%d", f, m),
+				core.SpriteFlushStrategy{}, f, m*mb/pageSize)
 			if err != nil {
 				return nil, err
 			}
@@ -157,6 +160,11 @@ func E2RemoteExec(cfg Config) (*Table, error) {
 		if err != nil {
 			return 0, err
 		}
+		variant := "local"
+		if remote {
+			variant = "remote"
+		}
+		defer t.CaptureMetrics(cfg, fmt.Sprintf("%s argKB=%d", variant, argKB), c)
 		src, dst := c.Workstation(0), c.Workstation(1)
 		var elapsed time.Duration
 		args := []string{string(make([]byte, argKB*1024))}
@@ -234,7 +242,8 @@ func E3VMStrategies(cfg Config) (*Table, error) {
 	}
 	for _, s := range strategies {
 		for _, m := range sizes {
-			rec, resume, err := measureMigration(cfg.Seed, s, 1, m*mb/pageSize)
+			rec, resume, err := measureMigration(cfg, t, fmt.Sprintf("%s dirtyMB=%d", s.Name(), m),
+				s, 1, m*mb/pageSize)
 			if err != nil {
 				return nil, err
 			}
@@ -334,6 +343,7 @@ func E4Forwarding(cfg Config) (*Table, error) {
 	if err := c.Run(0); err != nil {
 		return nil, err
 	}
+	t.CaptureMetrics(cfg, "pair", c)
 	for i, pr := range probes {
 		ratio := float64(away[i]) / float64(home[i])
 		t.AddRow(

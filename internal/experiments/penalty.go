@@ -102,6 +102,11 @@ func E13RemotePenalty(cfg Config) (*Table, error) {
 			if err := c.Run(0); err != nil {
 				return nil, err
 			}
+			where := "home"
+			if remote {
+				where = "away"
+			}
+			t.CaptureMetrics(cfg, m.name+" "+where, c)
 			times[variant] = elapsed
 		}
 		slowdown := (float64(times[1])/float64(times[0]) - 1) * 100
@@ -223,6 +228,7 @@ func E14DayInTheLife(cfg Config) (*Table, error) {
 	if err := c.Run(0); err != nil {
 		return nil, err
 	}
+	t.CaptureMetrics(cfg, "day", c)
 	idle := 0
 	for _, k := range c.Workstations() {
 		if k.Available(elapsed) {

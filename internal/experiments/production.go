@@ -102,6 +102,7 @@ func E9Eviction(cfg Config) (*Table, error) {
 				mig = r
 			}
 		}
+		t.CaptureMetrics(cfg, fmt.Sprintf("dirtyMB=%d", m), c)
 		t.AddRow(fmt.Sprintf("%d", m), ms(reclaim), ms(mig.Total), ms(mig.VMTime))
 	}
 	t.AddNote("paper shape: reclaim delay grows linearly with the foreign process's dirty memory; small for typical processes")
@@ -202,6 +203,7 @@ func E10IdleFraction(cfg Config) (*Table, error) {
 	util := float64(busy) / (float64(elapsed) * float64(hosts)) * 100
 	c.Stop()
 	_ = c.Run(0)
+	t.CaptureMetrics(cfg, "day", c)
 
 	summarize := func(name string, vals []float64) {
 		var s stats.Sample
@@ -244,7 +246,7 @@ func E11PlacementVsMigration(cfg Config) (*Table, error) {
 		policyPlacement
 		policyBoth
 	)
-	runPolicy := func(pol policy) (*stats.Sample, time.Duration, int, error) {
+	runPolicy := func(pol policy, label string) (*stats.Sample, time.Duration, int, error) {
 		c, err := core.NewCluster(core.Options{Workstations: 8, FileServers: 1, Seed: cfg.Seed})
 		if err != nil {
 			return nil, 0, 0, err
@@ -376,12 +378,13 @@ func E11PlacementVsMigration(cfg Config) (*Table, error) {
 				migrations++
 			}
 		}
+		t.CaptureMetrics(cfg, label, c)
 		return &sample, makespan, migrations, nil
 	}
 
 	names := []string{"no load sharing", "initial placement", "placement + migration"}
 	for pol, name := range names {
-		sample, makespan, migs, err := runPolicy(policy(pol))
+		sample, makespan, migs, err := runPolicy(policy(pol), name)
 		if err != nil {
 			return nil, err
 		}

@@ -127,6 +127,9 @@ func (c *Client) lookupServer(env *sim.Env, path string) (rpc.HostID, error) {
 		return rpc.NoHost, err
 	}
 	c.stats.PrefixQueries++
+	if m := c.fs.m; m != nil {
+		m.prefixQueries.Inc()
+	}
 	prefix := c.fs.ns.prefixFor(path)
 	c.prefixCache.AddPrefix(prefix, host)
 	return host, nil
@@ -269,6 +272,9 @@ func (c *Client) Read(env *sim.Env, st *Stream, n int) ([]byte, error) {
 		return nil, err
 	}
 	c.stats.BytesRead += uint64(len(data))
+	if m := c.fs.m; m != nil {
+		m.bytesRead.Add(int64(len(data)))
+	}
 	return data, nil
 }
 
@@ -291,6 +297,9 @@ func (c *Client) ReadAt(env *sim.Env, st *Stream, off int64, n int) ([]byte, err
 		return nil, err
 	}
 	c.stats.BytesRead += uint64(len(data))
+	if m := c.fs.m; m != nil {
+		m.bytesRead.Add(int64(len(data)))
+	}
 	return data, nil
 }
 
@@ -313,6 +322,9 @@ func (c *Client) Write(env *sim.Env, st *Stream, data []byte) (int, error) {
 		return 0, err
 	}
 	c.stats.BytesWritten += uint64(len(data))
+	if m := c.fs.m; m != nil {
+		m.bytesWritten.Add(int64(len(data)))
+	}
 	return len(data), nil
 }
 
@@ -326,6 +338,9 @@ func (c *Client) WriteAt(env *sim.Env, st *Stream, off int64, data []byte) error
 		return err
 	}
 	c.stats.BytesWritten += uint64(len(data))
+	if m := c.fs.m; m != nil {
+		m.bytesWritten.Add(int64(len(data)))
+	}
 	return nil
 }
 
@@ -426,10 +441,16 @@ func (c *Client) readBlock(env *sim.Env, st *Stream, block int) ([]byte, error) 
 	if c.cacheEnabled(st) {
 		if b, ok := c.blocks[key]; ok {
 			c.stats.Hits++
+			if m := c.fs.m; m != nil {
+				m.hits.Inc()
+			}
 			c.lru.MoveToFront(b.elem)
 			return b.data, nil
 		}
 		c.stats.Misses++
+		if m := c.fs.m; m != nil {
+			m.misses.Inc()
+		}
 	}
 	reply, err := c.ep.Call(env, st.FID.Server, "fs.read", readArgs{FID: st.FID, Block: block}, 32)
 	if err != nil {
@@ -600,6 +621,9 @@ func (c *Client) flushBlock(env *sim.Env, b *cacheBlock) error {
 	}
 	b.dirty = false
 	c.stats.BlockFlushes++
+	if m := c.fs.m; m != nil {
+		m.flushes.Inc()
+	}
 	if r, ok := reply.(writeReply); ok {
 		c.fileVer[b.key.fid] = r.Version
 	}
@@ -677,6 +701,9 @@ func (c *Client) handleFlushCallback(env *sim.Env, from rpc.HostID, arg any) (an
 		return nil, 0, fmt.Errorf("fsc.flush: bad args %T", arg)
 	}
 	c.stats.Recalls++
+	if m := c.fs.m; m != nil {
+		m.recalls.Inc()
+	}
 	if err := c.FlushFile(env, a.FID); err != nil {
 		return nil, 0, err
 	}
@@ -691,6 +718,9 @@ func (c *Client) handleDisableCallback(env *sim.Env, from rpc.HostID, arg any) (
 		return nil, 0, fmt.Errorf("fsc.disable: bad args %T", arg)
 	}
 	c.stats.Recalls++
+	if m := c.fs.m; m != nil {
+		m.recalls.Inc()
+	}
 	if err := c.FlushFile(env, a.FID); err != nil {
 		return nil, 0, err
 	}
@@ -862,6 +892,9 @@ func (c *Client) MoveStream(env *sim.Env, st *Stream, to rpc.HostID) error {
 			st.owners[c.host]++
 			return err
 		}
+		if m := c.fs.m; m != nil {
+			m.pipeMoves.Inc()
+		}
 		return nil
 	}
 	if err := c.FlushFile(env, st.FID); err != nil {
@@ -908,6 +941,9 @@ func (c *Client) MoveStream(env *sim.Env, st *Stream, to rpc.HostID) error {
 	}
 	if share {
 		st.shared = true
+	}
+	if m := c.fs.m; m != nil {
+		m.streamMoves.Inc()
 	}
 	return nil
 }

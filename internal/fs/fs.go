@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"time"
 
+	"sprite/internal/metrics"
 	"sprite/internal/rpc"
 	"sprite/internal/sim"
 )
@@ -127,6 +128,40 @@ type FS struct {
 	servers   map[rpc.HostID]*Server
 	clients   map[rpc.HostID]*Client
 	streamSeq StreamID
+
+	// m holds the optional metrics plane's cached counters, shared by every
+	// client so cluster-wide cache behaviour reads as one set of series.
+	m *fsCounters
+}
+
+// fsCounters caches the fabric-wide instrument pointers.
+type fsCounters struct {
+	hits, misses, flushes, recalls *metrics.Counter
+	bytesRead, bytesWritten        *metrics.Counter
+	prefixQueries                  *metrics.Counter
+	streamMoves, pipeMoves         *metrics.Counter
+}
+
+// SetMetrics installs (or with nil removes) the registry receiving the
+// fabric's cache and stream-forwarding counters: fs.cache.{hits,misses,
+// flushes,recalls}, fs.bytes.{read,written}, fs.prefix.queries, and
+// fs.stream.{moves,pipe_moves}.
+func (f *FS) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		f.m = nil
+		return
+	}
+	f.m = &fsCounters{
+		hits:          reg.Counter("fs.cache.hits"),
+		misses:        reg.Counter("fs.cache.misses"),
+		flushes:       reg.Counter("fs.cache.flushes"),
+		recalls:       reg.Counter("fs.cache.recalls"),
+		bytesRead:     reg.Counter("fs.bytes.read"),
+		bytesWritten:  reg.Counter("fs.bytes.written"),
+		prefixQueries: reg.Counter("fs.prefix.queries"),
+		streamMoves:   reg.Counter("fs.stream.moves"),
+		pipeMoves:     reg.Counter("fs.stream.pipe_moves"),
+	}
 }
 
 // New returns an empty file system fabric.

@@ -1,0 +1,77 @@
+package hostsel
+
+import (
+	"testing"
+
+	"sprite/internal/metrics"
+	"sprite/internal/rpc"
+	"sprite/internal/sim"
+)
+
+func TestInstrumentedRecordsLatencyAndGrants(t *testing.T) {
+	c := newCluster(t, 5)
+	reg := metrics.New()
+	sel := Instrument(NewCentral(c, rpc.HostID(1), DefaultCentralParams()), reg)
+	if sel.Name() != "central" {
+		t.Fatalf("name = %q", sel.Name())
+	}
+	c.Boot("boot", func(env *sim.Env) error {
+		if err := warmup(env); err != nil {
+			return err
+		}
+		if err := announceAll(env, c, sel); err != nil {
+			return err
+		}
+		client := c.Workstation(0).Host()
+		hosts, err := sel.RequestHosts(env, client, 2)
+		if err != nil {
+			return err
+		}
+		if err := sel.Release(env, client, hosts); err != nil {
+			return err
+		}
+		// Ask for far more than exists: counted as a denial, not an error.
+		if _, err := sel.RequestHosts(env, client, 64); err != nil && err != ErrNoHosts {
+			return err
+		}
+		return nil
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("hostsel.central.requests").Value(); got != 2 {
+		t.Fatalf("requests = %d", got)
+	}
+	if got := reg.Counter("hostsel.central.granted").Value(); got < 2 {
+		t.Fatalf("granted = %d", got)
+	}
+	if got := reg.Counter("hostsel.central.denied").Value(); got != 1 {
+		t.Fatalf("denied = %d", got)
+	}
+	rt := reg.Timing("hostsel.central.request")
+	if rt.N() != 2 {
+		t.Fatalf("request timings = %d", rt.N())
+	}
+	// The central server costs RPC round trips: selection latency must be
+	// visible virtual time, not zero.
+	if rt.Sum() <= 0 {
+		t.Fatalf("request latency sum = %v", rt.Sum())
+	}
+	if n := reg.Timing("hostsel.central.notify").N(); n != 5 {
+		t.Fatalf("notify timings = %d", n)
+	}
+}
+
+func TestInstrumentNilRegistryIsIdentity(t *testing.T) {
+	c := newCluster(t, 2)
+	inner := NewMulticast(c)
+	if got := Instrument(inner, nil); got != Selector(inner) {
+		t.Fatal("nil registry must return the selector unchanged")
+	}
+	reg := metrics.New()
+	wrapped := Instrument(inner, reg)
+	iw, ok := wrapped.(*Instrumented)
+	if !ok || iw.Unwrap() != Selector(inner) {
+		t.Fatal("Unwrap must return the inner selector")
+	}
+}

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sprite/internal/trace"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("x") != c {
+		t.Fatal("Counter must return the same instance per name")
+	}
+	g := r.Gauge("q")
+	g.Add(3)
+	g.Add(4)
+	g.Add(-5)
+	if g.Value() != 2 || g.Max() != 7 {
+		t.Fatalf("gauge = %d max %d", g.Value(), g.Max())
+	}
+	g.Set(1)
+	if g.Value() != 1 || g.Max() != 7 {
+		t.Fatalf("gauge after Set = %d max %d", g.Value(), g.Max())
+	}
+}
+
+func TestTimingSummary(t *testing.T) {
+	r := New()
+	tm := r.Timing("phase")
+	for i := 1; i <= 100; i++ {
+		tm.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := tm.summary()
+	if s.N != 100 || s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Sum != 5050*time.Millisecond {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	// Sketch quantiles carry a 1% relative bound around the value at rank
+	// round(q*(n-1)) — for q=0.5 over 1..100ms that is the 51 ms element.
+	if got, want := s.P50, 51*time.Millisecond; got < want*98/100 || got > want*102/100 {
+		t.Fatalf("p50 = %v", got)
+	}
+}
+
+func TestTimingMerge(t *testing.T) {
+	r := New()
+	a, b := r.Timing("a"), r.Timing("b")
+	for i := 1; i <= 50; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 51; i <= 100; i++ {
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 100 || a.Sum() != 5050*time.Millisecond {
+		t.Fatalf("merged n=%d sum=%v", a.N(), a.Sum())
+	}
+	if err := a.Merge(a); err != nil {
+		t.Fatal("self-merge must be a no-op")
+	}
+	if a.N() != 100 {
+		t.Fatalf("self-merge changed n=%d", a.N())
+	}
+}
+
+func TestSnapshotDeterministicText(t *testing.T) {
+	build := func() string {
+		r := New()
+		r.Counter("b.count").Add(2)
+		r.Counter("a.count").Add(1)
+		r.Gauge("depth").Set(3)
+		r.Timing("t1").Observe(5 * time.Millisecond)
+		r.Timing("t1").Observe(7 * time.Millisecond)
+		return r.Snapshot().Text()
+	}
+	x, y := build(), build()
+	if x != y {
+		t.Fatalf("snapshot text not deterministic:\n%s\nvs\n%s", x, y)
+	}
+	if !strings.Contains(x, "counter a.count") || strings.Index(x, "a.count") > strings.Index(x, "b.count") {
+		t.Fatalf("names not sorted:\n%s", x)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := New()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(2)
+	r.Timing("t").Observe(time.Millisecond)
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Counters["c"] != 1 || round.Gauges["g"].Value != 2 || round.Timings["t"].N != 1 {
+		t.Fatalf("round-trip = %+v", round)
+	}
+}
+
+func TestSpanRecordsAndTraces(t *testing.T) {
+	r := New()
+	log := trace.New(16)
+	r.SetTrace(log.Func())
+	sp := r.StartSpan("mig.phase.vm", 10*time.Millisecond)
+	if d := sp.End(35 * time.Millisecond); d != 25*time.Millisecond {
+		t.Fatalf("span duration = %v", d)
+	}
+	if d := sp.End(99 * time.Millisecond); d != 0 {
+		t.Fatal("double End must be a no-op")
+	}
+	if n := r.Timing("mig.phase.vm").N(); n != 1 {
+		t.Fatalf("timing n = %d", n)
+	}
+	if log.CountKind("span") != 1 {
+		t.Fatalf("trace events:\n%s", log.String())
+	}
+}
+
+func TestSpanAbort(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("mig.phase.streams", 0)
+	sp.Abort(4 * time.Millisecond)
+	sp.End(9 * time.Millisecond) // no-op after abort
+	if n := r.Timing("mig.phase.streams").N(); n != 0 {
+		t.Fatalf("aborted span recorded a duration (n=%d)", n)
+	}
+	if got := r.Counter("mig.phase.streams.aborted").Value(); got != 1 {
+		t.Fatalf("abort counter = %d", got)
+	}
+	var nilSpan *Span
+	nilSpan.Abort(0) // nil-safe
+	if d := nilSpan.End(0); d != 0 {
+		t.Fatal("nil span End must return 0")
+	}
+}
+
+// TestConcurrentCounters: instruments must be race-safe (the simulator is
+// single-threaded, but the contract is atomic ops so future parallel
+// drivers can share a registry).
+func TestConcurrentCounters(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Add(1)
+				r.Timing("t").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("n").Value() != 8000 || r.Gauge("g").Value() != 8000 || r.Timing("t").N() != 8000 {
+		t.Fatalf("lost updates: n=%d g=%d t=%d",
+			r.Counter("n").Value(), r.Gauge("g").Value(), r.Timing("t").N())
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := New()
+	c := r.Counter("hot")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"sprite/internal/metrics"
 	"sprite/internal/netsim"
 	"sprite/internal/sim"
 )
@@ -117,6 +118,56 @@ type Transport struct {
 	injector  Injector
 	retries   uint64
 	timeouts  uint64
+
+	// Optional metrics plane. Counter pointers are cached here so the
+	// per-call cost with metrics installed is a handful of atomic adds.
+	m struct {
+		reg      *metrics.Registry
+		calls    *metrics.Counter
+		bytes    *metrics.Counter
+		errs     *metrics.Counter
+		retries  *metrics.Counter
+		timeouts *metrics.Counter
+		perHost  map[HostID]*hostCounters
+	}
+}
+
+// hostCounters is the cached per-destination-host instrument set.
+type hostCounters struct {
+	calls *metrics.Counter
+	bytes *metrics.Counter
+	errs  *metrics.Counter
+}
+
+// SetMetrics installs (or with nil removes) the registry receiving RPC
+// traffic counters: rpc.calls / rpc.bytes / rpc.errs / rpc.retries /
+// rpc.timeouts plus per-destination rpc.to.<host>.{calls,bytes,errs}.
+func (t *Transport) SetMetrics(reg *metrics.Registry) {
+	t.m.reg = reg
+	t.m.perHost = nil
+	if reg == nil {
+		t.m.calls, t.m.bytes, t.m.errs, t.m.retries, t.m.timeouts = nil, nil, nil, nil, nil
+		return
+	}
+	t.m.calls = reg.Counter("rpc.calls")
+	t.m.bytes = reg.Counter("rpc.bytes")
+	t.m.errs = reg.Counter("rpc.errs")
+	t.m.retries = reg.Counter("rpc.retries")
+	t.m.timeouts = reg.Counter("rpc.timeouts")
+	t.m.perHost = make(map[HostID]*hostCounters)
+}
+
+func (t *Transport) hostCounters(to HostID) *hostCounters {
+	hc, ok := t.m.perHost[to]
+	if !ok {
+		hc = &hostCounters{
+			calls: t.m.reg.Counter(fmt.Sprintf("rpc.to.%v.calls", to)),
+			bytes: t.m.reg.Counter(fmt.Sprintf("rpc.to.%v.bytes", to)),
+			errs:  t.m.reg.Counter(fmt.Sprintf("rpc.to.%v.errs", to)),
+		}
+		t.m.perHost[to] = hc
+	}
+	return hc
 }
 
 // SetInjector installs (or, with nil, removes) the fault injector consulted
@@ -186,7 +237,7 @@ func (t *Transport) TotalCalls() uint64 {
 	return n
 }
 
-func (t *Transport) record(service string, bytes int, failed bool) {
+func (t *Transport) record(to HostID, service string, bytes int, failed bool) {
 	st, ok := t.stats[service]
 	if !ok {
 		st = &CallStats{}
@@ -196,6 +247,18 @@ func (t *Transport) record(service string, bytes int, failed bool) {
 	st.Bytes += uint64(bytes)
 	if failed {
 		st.Errs++
+	}
+	if t.m.reg == nil {
+		return
+	}
+	t.m.calls.Inc()
+	t.m.bytes.Add(int64(bytes))
+	hc := t.hostCounters(to)
+	hc.calls.Inc()
+	hc.bytes.Add(int64(bytes))
+	if failed {
+		t.m.errs.Inc()
+		hc.errs.Inc()
 	}
 }
 
@@ -233,22 +296,22 @@ func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSiz
 	t := e.transport
 	target, ok := t.endpoints[to]
 	if !ok {
-		t.record(service, argSize, true)
+		t.record(to, service, argSize, true)
 		return nil, fmt.Errorf("%w: %v", ErrNoHost, to)
 	}
 	if target.down || e.down {
-		t.record(service, argSize, true)
+		t.record(to, service, argSize, true)
 		return nil, fmt.Errorf("%w: %v", ErrHostDown, to)
 	}
 	h, ok := target.services[service]
 	if !ok {
-		t.record(service, argSize, true)
+		t.record(to, service, argSize, true)
 		return nil, fmt.Errorf("%w: %s on %v", ErrNoService, service, to)
 	}
 	if e.host == to {
 		// Local shortcut: no network, no protocol overhead, no faults.
 		reply, _, err := h(env, e.host, arg)
-		t.record(service, 0, err != nil)
+		t.record(to, service, 0, err != nil)
 		return reply, err
 	}
 	if err := env.Sleep(t.params.ClientOverhead); err != nil {
@@ -262,7 +325,7 @@ func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSiz
 		// A host that went down between attempts fails fast, like a channel
 		// reset in Sprite RPC.
 		if target.down || e.down {
-			t.record(service, argSize, true)
+			t.record(to, service, argSize, true)
 			return nil, fmt.Errorf("%w: %v", ErrHostDown, to)
 		}
 		var v Verdict
@@ -276,7 +339,7 @@ func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSiz
 		}
 		if v.DropRequest {
 			if err := e.awaitRetry(env, to, service, attempt); err != nil {
-				t.record(service, argSize, true)
+				t.record(to, service, argSize, true)
 				return nil, err
 			}
 			continue
@@ -284,7 +347,7 @@ func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSiz
 		if err := t.net.Send(env, argSize); err != nil {
 			if errors.Is(err, netsim.ErrDropped) {
 				if rerr := e.awaitRetry(env, to, service, attempt); rerr != nil {
-					t.record(service, argSize, true)
+					t.record(to, service, argSize, true)
 					return nil, rerr
 				}
 				continue
@@ -303,7 +366,7 @@ func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSiz
 		}
 		if v.DropReply {
 			if err := e.awaitRetry(env, to, service, attempt); err != nil {
-				t.record(service, argSize, true)
+				t.record(to, service, argSize, true)
 				return nil, err
 			}
 			continue
@@ -311,14 +374,14 @@ func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSiz
 		if nerr := t.net.Send(env, replySize); nerr != nil {
 			if errors.Is(nerr, netsim.ErrDropped) {
 				if rerr := e.awaitRetry(env, to, service, attempt); rerr != nil {
-					t.record(service, argSize, true)
+					t.record(to, service, argSize, true)
 					return nil, rerr
 				}
 				continue
 			}
 			return nil, nerr
 		}
-		t.record(service, argSize+replySize, herr != nil)
+		t.record(to, service, argSize+replySize, herr != nil)
 		return reply, herr
 	}
 }
@@ -336,9 +399,15 @@ func (e *Endpoint) awaitRetry(env *sim.Env, to HostID, service string, attempt i
 	}
 	if attempt >= t.params.MaxRetries {
 		t.timeouts++
+		if t.m.reg != nil {
+			t.m.timeouts.Inc()
+		}
 		return fmt.Errorf("%w: %s to %v after %d attempts", ErrTimeout, service, to, attempt+1)
 	}
 	t.retries++
+	if t.m.reg != nil {
+		t.m.retries.Inc()
+	}
 	if b := t.params.RetryBackoff; b > 0 {
 		return env.Sleep(b << uint(attempt))
 	}
@@ -393,7 +462,7 @@ func (e *Endpoint) Broadcast(env *sim.Env, service string, arg any, argSize int)
 			}
 			return nil, nerr
 		}
-		t.record(service+".bcast", argSize+replySize, false)
+		t.record(id, service+".bcast", argSize+replySize, false)
 		replies[id] = reply
 	}
 	return replies, nil

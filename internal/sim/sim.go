@@ -86,6 +86,18 @@ type activity struct {
 	err    error  // set if the activity's function returned an error
 }
 
+// Stats counts scheduler work: how many events the loop dispatched, how
+// many activity context switches it performed, the deepest the event queue
+// ever got, and how many activities were spawned. The counters are plain
+// increments on the single-threaded scheduler path and never affect
+// virtual time.
+type Stats struct {
+	EventsDispatched uint64
+	ContextSwitches  uint64
+	MaxQueueDepth    int
+	Spawned          uint64
+}
+
 // Simulation is a deterministic discrete-event simulator. The zero value is
 // not usable; construct with New.
 type Simulation struct {
@@ -99,11 +111,15 @@ type Simulation struct {
 	stopped bool
 	rng     *rand.Rand
 	errs    []error
+	stats   Stats
 
 	// Trace, when non-nil, receives one line per scheduler decision. It is
 	// intended for debugging tests, not production use.
 	Trace func(format string, args ...any)
 }
+
+// Stats returns a copy of the scheduler's event-loop counters.
+func (s *Simulation) Stats() Stats { return s.stats }
 
 // New returns a simulation whose random stream is seeded with seed.
 func New(seed int64) *Simulation {
@@ -134,6 +150,7 @@ func (s *Simulation) Spawn(name string, fn func(env *Env) error) *Env {
 	}
 	a.env = &Env{sim: s, act: a}
 	s.live[a.id] = a
+	s.stats.Spawned++
 	go func() {
 		<-a.resume // wait for first scheduling
 		err := safeRun(fn, a.env)
@@ -173,6 +190,9 @@ func (s *Simulation) schedule(at time.Duration, a *activity, fn func()) *event {
 	s.seq++
 	ev := &event{at: at, seq: s.seq, act: a, fn: fn}
 	heap.Push(&s.queue, ev)
+	if n := len(s.queue); n > s.stats.MaxQueueDepth {
+		s.stats.MaxQueueDepth = n
+	}
 	return ev
 }
 
@@ -192,6 +212,7 @@ func (s *Simulation) Run(limit time.Duration) error {
 		if ev.at > s.now {
 			s.now = ev.at
 		}
+		s.stats.EventsDispatched++
 		if ev.fn != nil {
 			ev.fn()
 		}
@@ -224,6 +245,7 @@ func (s *Simulation) dispatch(a *activity) {
 	if s.Trace != nil {
 		s.Trace("t=%v run %s", s.now, a.name)
 	}
+	s.stats.ContextSwitches++
 	a.wake = nil
 	a.state = stateRunning
 	s.current = a

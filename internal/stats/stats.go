@@ -14,12 +14,19 @@ import (
 type Sample struct {
 	values []float64
 	sorted bool
+
+	// Mean and variance are memoized between Adds, like the sorted flag:
+	// repeated Mean/Std calls on a settled sample must not rescan it.
+	momentsValid bool
+	cachedMean   float64
+	cachedVar    float64
 }
 
 // Add records one observation.
 func (s *Sample) Add(v float64) {
 	s.values = append(s.values, v)
 	s.sorted = false
+	s.momentsValid = false
 }
 
 // AddDuration records a duration observation in seconds.
@@ -28,31 +35,43 @@ func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.values) }
 
-// Mean returns the arithmetic mean (0 for an empty sample).
-func (s *Sample) Mean() float64 {
-	if len(s.values) == 0 {
-		return 0
+// ensureMoments computes mean and population variance once per batch of
+// Adds, in the same two-pass order the unmemoized code used so results are
+// bit-identical.
+func (s *Sample) ensureMoments() {
+	if s.momentsValid {
+		return
+	}
+	s.momentsValid = true
+	n := len(s.values)
+	if n == 0 {
+		s.cachedMean, s.cachedVar = 0, 0
+		return
 	}
 	sum := 0.0
 	for _, v := range s.values {
 		sum += v
 	}
-	return sum / float64(len(s.values))
+	m := sum / float64(n)
+	sq := 0.0
+	for _, v := range s.values {
+		d := v - m
+		sq += d * d
+	}
+	s.cachedMean = m
+	s.cachedVar = sq / float64(n)
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	s.ensureMoments()
+	return s.cachedMean
 }
 
 // Std returns the population standard deviation.
 func (s *Sample) Std() float64 {
-	n := len(s.values)
-	if n == 0 {
-		return 0
-	}
-	m := s.Mean()
-	sum := 0.0
-	for _, v := range s.values {
-		d := v - m
-		sum += d * d
-	}
-	return math.Sqrt(sum / float64(n))
+	s.ensureMoments()
+	return math.Sqrt(s.cachedVar)
 }
 
 // Min returns the smallest observation (0 for an empty sample).

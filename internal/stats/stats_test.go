@@ -124,6 +124,61 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestMomentsMemoized: Mean/Std results must survive interleaved reads and
+// stay correct after further Adds invalidate the cache.
+func TestMomentsMemoized(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 4; i++ {
+		s.Add(float64(i))
+	}
+	m1, d1 := s.Mean(), s.Std()
+	if m2, d2 := s.Mean(), s.Std(); m1 != m2 || d1 != d2 {
+		t.Fatalf("repeated reads changed: %v/%v vs %v/%v", m1, d1, m2, d2)
+	}
+	// Sorting accessors must not disturb the cached moments.
+	_ = s.Percentile(50)
+	if !almost(s.Mean(), 2.5) || !almost(s.Std(), math.Sqrt(1.25)) {
+		t.Fatalf("moments after sort: mean=%v std=%v", s.Mean(), s.Std())
+	}
+	s.Add(100)
+	if almost(s.Mean(), 2.5) {
+		t.Fatal("Add did not invalidate the cached mean")
+	}
+	want := 0.0
+	for _, v := range []float64{1, 2, 3, 4, 100} {
+		want += v
+	}
+	if !almost(s.Mean(), want/5) {
+		t.Fatalf("mean after invalidation = %v", s.Mean())
+	}
+}
+
+// BenchmarkSampleStd backs the memoization: repeated Std calls on a settled
+// sample must be O(1), not a rescan of the values.
+func BenchmarkSampleStd(b *testing.B) {
+	var s Sample
+	for i := 0; i < 100000; i++ {
+		s.Add(float64(i))
+	}
+	s.Std() // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Std()
+	}
+}
+
+func BenchmarkSampleStdUncached(b *testing.B) {
+	var s Sample
+	for i := 0; i < 100000; i++ {
+		s.Add(float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.momentsValid = false
+		_ = s.Std()
+	}
+}
+
 func TestHistogramFractionBelowMonotonic(t *testing.T) {
 	f := func(vals []float64) bool {
 		h := NewHistogram(0, 0.5, 20)
