@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-baseline experiments examples clean
+.PHONY: all build vet test race cover bench bench-baseline bench-wallclock experiments examples clean
 
 all: build vet test
 
@@ -47,6 +47,15 @@ bench:
 # performance changes, and commit the result).
 bench-baseline:
 	$(GO) run ./cmd/migbench -out $(BENCH_BASELINE)
+
+# Wall-clock benchmarks of the simulator, RPC, and VM hot paths — the code
+# whose real (not virtual) speed bounds how fast experiments run. Repeated
+# runs (BENCH_COUNT) make the output benchstat-ready: save one run, make a
+# change, run again, and `benchstat old.txt bench-wallclock.txt`.
+BENCH_COUNT ?= 6
+bench-wallclock:
+	$(GO) test -run '^$$' -bench=. -benchmem -count=$(BENCH_COUNT) \
+		./internal/sim ./internal/rpc ./internal/vm | tee bench-wallclock.txt
 
 # Regenerate every reproduced table (see EXPERIMENTS.md).
 experiments:

@@ -1,7 +1,9 @@
 // Command migbench runs migration micro-benchmarks: one migration with a
 // configurable process footprint under each VM transfer strategy, printing
 // the per-phase breakdown (negotiate, VM transfer, stream handoff, PCB,
-// resume) the thesis tabulates.
+// resume) the thesis tabulates. Each strategy runs twice — once over the
+// batched bulk-transfer data plane and once over the legacy per-page path —
+// so the ablation is part of every report.
 //
 // Usage:
 //
@@ -11,8 +13,11 @@
 // -out writes the results as JSON for the benchmark-regression harness
 // (see `make bench`). -baseline compares the run against a previously
 // saved JSON file and exits non-zero if any strategy's total migration
-// time regressed by more than -tolerance (default 20%). A missing
-// baseline file is not an error: the gate arms once a baseline exists.
+// time — or any individual phase — regressed by more than -tolerance
+// (default 20%). A missing baseline file is not an error: the gate arms
+// once a baseline exists. -min-batch-gain (default 0.30) additionally
+// requires the batched sprite-flush migration to beat the legacy one by at
+// least that fraction of total time whenever both modes were measured.
 package main
 
 import (
@@ -55,11 +60,12 @@ func strategies(name string) ([]core.TransferStrategy, error) {
 	return nil, fmt.Errorf("unknown strategy %q", name)
 }
 
-// benchResult is one strategy's measured migration, as written to the JSON
-// report. Durations are milliseconds of virtual time, so the numbers are
-// deterministic for a given seed and safe to diff across machines.
+// benchResult is one strategy+mode's measured migration, as written to the
+// JSON report. Durations are milliseconds of virtual time, so the numbers
+// are deterministic for a given seed and safe to diff across machines.
 type benchResult struct {
 	Strategy    string  `json:"strategy"`
+	Batching    bool    `json:"batching"`
 	TotalMS     float64 `json:"total_ms"`
 	FreezeMS    float64 `json:"freeze_ms"`
 	NegotiateMS float64 `json:"negotiate_ms"`
@@ -71,6 +77,21 @@ type benchResult struct {
 	VMBytes     int     `json:"vm_bytes"`
 	Files       int     `json:"files"`
 	Residual    bool    `json:"residual"`
+
+	// Bulk data-plane counters (zero on the legacy path).
+	BatchRuns        int `json:"batch_runs,omitempty"`
+	BatchFragments   int `json:"batch_fragments,omitempty"`
+	BatchRetransmits int `json:"batch_retransmits,omitempty"`
+}
+
+// key identifies a result across reports: strategy plus data-plane mode.
+func (r benchResult) key() string { return r.Strategy + "/" + modeName(r.Batching) }
+
+func modeName(batched bool) string {
+	if batched {
+		return "batched"
+	}
+	return "legacy"
 }
 
 // benchReport is the BENCH_migration.json document.
@@ -90,10 +111,12 @@ func run(args []string, w io.Writer) error {
 		files     = flags.Int("files", 4, "open files at migration time")
 		dirtyMB   = flags.Int("dirty-mb", 8, "dirty heap megabytes at migration time")
 		strategy  = flags.String("strategy", "all", "VM transfer strategy (or 'all')")
+		mode      = flags.String("mode", "both", "data plane: both|batched|legacy")
 		seed      = flags.Int64("seed", 42, "simulation seed")
 		out       = flags.String("out", "", "write results as JSON to this file")
 		baseline  = flags.String("baseline", "", "compare against this JSON report; missing file disarms the gate")
-		tolerance = flags.Float64("tolerance", 0.20, "allowed fractional total-time regression vs baseline")
+		tolerance = flags.Float64("tolerance", 0.20, "allowed fractional regression vs baseline, total and per phase")
+		minGain   = flags.Float64("min-batch-gain", 0.30, "required fractional sprite-flush total-time win of batched over legacy (0 disables)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return err
@@ -102,36 +125,64 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var modes []bool
+	switch *mode {
+	case "both":
+		modes = []bool{true, false}
+	case "batched":
+		modes = []bool{true}
+	case "legacy":
+		modes = []bool{false}
+	default:
+		return fmt.Errorf("unknown mode %q (want both, batched, or legacy)", *mode)
+	}
 	report := benchReport{Name: "migration", Seed: *seed, Files: *files, DirtyMB: *dirtyMB}
-	fmt.Fprintf(w, "%-18s %-10s %-10s %-9s %-9s %-9s %-9s %-9s %-9s %-8s\n",
-		"strategy", "total", "freeze", "negotiate", "vm", "streams", "pcb", "resume", "touchback", "residual")
+	fmt.Fprintf(w, "%-18s %-8s %-10s %-10s %-9s %-9s %-9s %-9s %-9s %-9s %-6s %-8s\n",
+		"strategy", "mode", "total", "freeze", "negotiate", "vm", "streams", "pcb", "resume", "touchback", "frags", "residual")
 	for _, s := range sts {
-		rec, touchback, err := migrateOnce(*seed, s, *files, *dirtyMB)
-		if err != nil {
+		for _, batched := range modes {
+			rec, touchback, err := migrateOnce(*seed, s, *files, *dirtyMB, batched)
+			if err != nil {
+				return err
+			}
+			// Phases must tile Total exactly — the span accounting
+			// contract holds even when streams overlap the VM transfer.
+			if sum := rec.NegotiateTime + rec.VMTime + rec.FileTime + rec.PCBTime + rec.ResumeTime; sum != rec.Total {
+				return fmt.Errorf("%s/%s: phases sum to %v, total %v",
+					s.Name(), modeName(batched), sum, rec.Total)
+			}
+			r := 100 * time.Microsecond
+			fmt.Fprintf(w, "%-18s %-8s %-10s %-10s %-9s %-9s %-9s %-9s %-9s %-9s %-6d %-8v\n",
+				s.Name(), modeName(batched),
+				rec.Total.Round(r), rec.Freeze.Round(r),
+				rec.NegotiateTime.Round(r), rec.VMTime.Round(r),
+				rec.FileTime.Round(r), rec.PCBTime.Round(r), rec.ResumeTime.Round(r),
+				touchback.Round(r),
+				rec.BatchFragments, rec.Residual)
+			report.Results = append(report.Results, benchResult{
+				Strategy:         s.Name(),
+				Batching:         batched,
+				TotalMS:          msf(rec.Total),
+				FreezeMS:         msf(rec.Freeze),
+				NegotiateMS:      msf(rec.NegotiateTime),
+				VMMS:             msf(rec.VMTime),
+				StreamsMS:        msf(rec.FileTime),
+				PCBMS:            msf(rec.PCBTime),
+				ResumeMS:         msf(rec.ResumeTime),
+				TouchbackMS:      msf(touchback),
+				VMBytes:          rec.VMBytes,
+				Files:            rec.Files,
+				Residual:         rec.Residual,
+				BatchRuns:        rec.BatchRuns,
+				BatchFragments:   rec.BatchFragments,
+				BatchRetransmits: rec.BatchRetransmits,
+			})
+		}
+	}
+	if *minGain > 0 {
+		if err := checkBatchGain(w, report, *minGain); err != nil {
 			return err
 		}
-		r := 100 * time.Microsecond
-		fmt.Fprintf(w, "%-18s %-10s %-10s %-9s %-9s %-9s %-9s %-9s %-9s %-8v\n",
-			s.Name(),
-			rec.Total.Round(r), rec.Freeze.Round(r),
-			rec.NegotiateTime.Round(r), rec.VMTime.Round(r),
-			rec.FileTime.Round(r), rec.PCBTime.Round(r), rec.ResumeTime.Round(r),
-			touchback.Round(r),
-			rec.Residual)
-		report.Results = append(report.Results, benchResult{
-			Strategy:    s.Name(),
-			TotalMS:     msf(rec.Total),
-			FreezeMS:    msf(rec.Freeze),
-			NegotiateMS: msf(rec.NegotiateTime),
-			VMMS:        msf(rec.VMTime),
-			StreamsMS:   msf(rec.FileTime),
-			PCBMS:       msf(rec.PCBTime),
-			ResumeMS:    msf(rec.ResumeTime),
-			TouchbackMS: msf(touchback),
-			VMBytes:     rec.VMBytes,
-			Files:       rec.Files,
-			Residual:    rec.Residual,
-		})
 	}
 	if *out != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -151,10 +202,57 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
+// checkBatchGain enforces the data-plane speedup claim: when sprite-flush was
+// measured in both modes, the batched total must undercut the legacy total by
+// at least minGain.
+func checkBatchGain(w io.Writer, rep benchReport, minGain float64) error {
+	var batched, legacy float64
+	for _, r := range rep.Results {
+		if r.Strategy != "sprite-flush" {
+			continue
+		}
+		if r.Batching {
+			batched = r.TotalMS
+		} else {
+			legacy = r.TotalMS
+		}
+	}
+	if batched <= 0 || legacy <= 0 {
+		return nil // one of the modes was not measured; nothing to compare
+	}
+	gain := 1 - batched/legacy
+	fmt.Fprintf(w, "sprite-flush batched %.2fms vs legacy %.2fms: %.1f%% faster (need >= %.0f%%)\n",
+		batched, legacy, gain*100, minGain*100)
+	if gain < minGain {
+		return fmt.Errorf("batched sprite-flush gained only %.1f%% over legacy, need >= %.0f%%",
+			gain*100, minGain*100)
+	}
+	return nil
+}
+
+// phaseGates lists the per-result fields the regression gate checks
+// individually, beyond the total.
+var phaseGates = []struct {
+	name string
+	get  func(benchResult) float64
+}{
+	{"negotiate", func(r benchResult) float64 { return r.NegotiateMS }},
+	{"vm", func(r benchResult) float64 { return r.VMMS }},
+	{"streams", func(r benchResult) float64 { return r.StreamsMS }},
+	{"pcb", func(r benchResult) float64 { return r.PCBMS }},
+	{"resume", func(r benchResult) float64 { return r.ResumeMS }},
+}
+
+// phaseGateFloorMS: baseline phases at or below this are too small for a
+// meaningful ratio (an overlapped streams phase can legitimately be 0), so
+// they are reported but not gated.
+const phaseGateFloorMS = 0.5
+
 // checkBaseline compares the fresh report against a saved one and errors on
-// any strategy whose total migration time regressed beyond tolerance. A
-// missing baseline file only prints a note: the gate arms once someone
-// commits a baseline.
+// any strategy+mode whose total migration time — or any individual phase —
+// regressed beyond tolerance. Phases with a near-zero baseline are exempt
+// from the ratio gate. A missing baseline file only prints a note: the gate
+// arms once someone commits a baseline.
 func checkBaseline(w io.Writer, cur benchReport, path string, tolerance float64) error {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -170,11 +268,12 @@ func checkBaseline(w io.Writer, cur benchReport, path string, tolerance float64)
 	}
 	baseBy := make(map[string]benchResult, len(base.Results))
 	for _, r := range base.Results {
-		baseBy[r.Strategy] = r
+		baseBy[r.key()] = r
 	}
+	pct := func(curv, basev float64) float64 { return (curv/basev - 1) * 100 }
 	var regressions []string
 	for _, r := range cur.Results {
-		b, ok := baseBy[r.Strategy]
+		b, ok := baseBy[r.key()]
 		if !ok || b.TotalMS <= 0 {
 			continue
 		}
@@ -184,19 +283,35 @@ func checkBaseline(w io.Writer, cur benchReport, path string, tolerance float64)
 			status = "REGRESSION"
 			regressions = append(regressions,
 				fmt.Sprintf("%s: total %.2fms vs baseline %.2fms (%+.1f%%)",
-					r.Strategy, r.TotalMS, b.TotalMS, (ratio-1)*100))
+					r.key(), r.TotalMS, b.TotalMS, (ratio-1)*100))
 		}
-		fmt.Fprintf(w, "vs baseline %-18s %.2fms -> %.2fms (%+.1f%%) %s\n",
-			r.Strategy, b.TotalMS, r.TotalMS, (ratio-1)*100, status)
+		fmt.Fprintf(w, "vs baseline %-26s total %.2fms -> %.2fms (%+.1f%%) %s\n",
+			r.key(), b.TotalMS, r.TotalMS, (ratio-1)*100, status)
+		for _, pg := range phaseGates {
+			bv, cv := pg.get(b), pg.get(r)
+			switch {
+			case bv <= phaseGateFloorMS:
+				fmt.Fprintf(w, "    %-9s %8.2fms -> %8.2fms (baseline too small to gate)\n", pg.name, bv, cv)
+			case cv > bv*(1+tolerance):
+				fmt.Fprintf(w, "    %-9s %8.2fms -> %8.2fms (%+.1f%%) REGRESSION\n", pg.name, bv, cv, pct(cv, bv))
+				regressions = append(regressions,
+					fmt.Sprintf("%s: phase %s %.2fms vs baseline %.2fms (%+.1f%%)",
+						r.key(), pg.name, cv, bv, pct(cv, bv)))
+			default:
+				fmt.Fprintf(w, "    %-9s %8.2fms -> %8.2fms (%+.1f%%) ok\n", pg.name, bv, cv, pct(cv, bv))
+			}
+		}
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("total migration time regressed >%.0f%%: %v", tolerance*100, regressions)
+		return fmt.Errorf("migration time regressed >%.0f%%: %v", tolerance*100, regressions)
 	}
 	return nil
 }
 
-func migrateOnce(seed int64, strategy core.TransferStrategy, files, dirtyMB int) (core.MigrationRecord, time.Duration, error) {
-	c, err := core.NewCluster(core.Options{Workstations: 2, FileServers: 1, Seed: seed})
+func migrateOnce(seed int64, strategy core.TransferStrategy, files, dirtyMB int, batched bool) (core.MigrationRecord, time.Duration, error) {
+	params := core.DefaultParams()
+	params.Batch.Enabled = batched
+	c, err := core.NewCluster(core.Options{Workstations: 2, FileServers: 1, Seed: seed, Params: &params})
 	if err != nil {
 		return core.MigrationRecord{}, 0, err
 	}

@@ -11,7 +11,7 @@ import (
 
 // TestBenchJSONHasPhaseBreakdown: the emitted BENCH_migration.json carries
 // the negotiate / VM / stream-handoff / resume decomposition for all four
-// strategies, and the phases tile the total.
+// strategies in both data-plane modes, and the phases tile the total.
 func TestBenchJSONHasPhaseBreakdown(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_migration.json")
 	var buf bytes.Buffer
@@ -26,29 +26,57 @@ func TestBenchJSONHasPhaseBreakdown(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) != 4 {
-		t.Fatalf("results = %d, want all 4 strategies", len(rep.Results))
+	if len(rep.Results) != 8 {
+		t.Fatalf("results = %d, want all 4 strategies x 2 modes", len(rep.Results))
 	}
 	seen := map[string]bool{}
 	for _, r := range rep.Results {
-		seen[r.Strategy] = true
-		if r.TotalMS <= 0 || r.NegotiateMS <= 0 || r.StreamsMS <= 0 || r.PCBMS <= 0 || r.ResumeMS < 0 {
-			t.Fatalf("%s: non-positive phase fields: %+v", r.Strategy, r)
+		seen[r.key()] = true
+		// StreamsMS may be zero in batched mode: the stream transfer
+		// overlaps the VM transfer and its span covers only the tail.
+		if r.TotalMS <= 0 || r.NegotiateMS <= 0 || r.StreamsMS < 0 || r.PCBMS <= 0 || r.ResumeMS < 0 {
+			t.Fatalf("%s: non-positive phase fields: %+v", r.key(), r)
 		}
 		sum := r.NegotiateMS + r.VMMS + r.StreamsMS + r.PCBMS + r.ResumeMS
 		if diff := sum - r.TotalMS; diff > 1e-6 || diff < -1e-6 {
-			t.Fatalf("%s: phases sum to %.6f, total %.6f", r.Strategy, sum, r.TotalMS)
+			t.Fatalf("%s: phases sum to %.6f, total %.6f", r.key(), sum, r.TotalMS)
+		}
+		if r.Batching && r.Strategy != "copy-on-reference" && r.BatchFragments <= 0 {
+			t.Fatalf("%s: batched run reports no fragments: %+v", r.key(), r)
+		}
+		if !r.Batching && (r.BatchRuns != 0 || r.BatchFragments != 0 || r.BatchRetransmits != 0) {
+			t.Fatalf("%s: legacy run reports batch counters: %+v", r.key(), r)
 		}
 	}
 	for _, s := range []string{"sprite-flush", "full-copy", "copy-on-reference", "pre-copy"} {
-		if !seen[s] {
-			t.Fatalf("strategy %s missing from report", s)
+		for _, m := range []string{"batched", "legacy"} {
+			if !seen[s+"/"+m] {
+				t.Fatalf("%s/%s missing from report", s, m)
+			}
 		}
 	}
 }
 
-// TestBaselineGate: an inflated baseline passes, a tightened one trips the
-// >20% regression check, and a missing baseline only prints a note.
+// TestBatchGainGate: the batched sprite-flush run must beat the legacy one by
+// the advertised margin at the standard footprint, and an unreachable margin
+// trips the gate.
+func TestBatchGainGate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-dirty-mb", "2", "-strategy", "sprite-flush"}, &buf); err != nil {
+		t.Fatalf("default -min-batch-gain failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "faster") {
+		t.Fatalf("batch-gain line missing:\n%s", buf.String())
+	}
+	err := run([]string{"-dirty-mb", "2", "-strategy", "sprite-flush", "-min-batch-gain", "0.99"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "gained only") {
+		t.Fatalf("unreachable gain did not trip the gate: %v", err)
+	}
+}
+
+// TestBaselineGate: an identical baseline passes, a tightened one trips the
+// >20% regression check — on the total and on any individual phase — and a
+// missing baseline only prints a note.
 func TestBaselineGate(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "cur.json")
@@ -65,11 +93,11 @@ func TestBaselineGate(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	writeBaseline := func(scale float64) string {
+	writeBaseline := func(mutate func(*benchResult)) string {
 		b := rep
 		b.Results = append([]benchResult(nil), rep.Results...)
 		for i := range b.Results {
-			b.Results[i].TotalMS *= scale
+			mutate(&b.Results[i])
 		}
 		p := filepath.Join(dir, "baseline.json")
 		enc, _ := json.Marshal(b)
@@ -80,15 +108,32 @@ func TestBaselineGate(t *testing.T) {
 	}
 
 	// Same numbers: identical run, deterministic simulation — must pass.
-	p := writeBaseline(1.0)
+	p := writeBaseline(func(r *benchResult) {})
 	if err := run([]string{"-dirty-mb", "1", "-strategy", "sprite-flush", "-baseline", p}, &buf); err != nil {
 		t.Fatalf("identical baseline failed the gate: %v", err)
 	}
-	// Baseline 40% faster than reality: the gate must trip.
-	p = writeBaseline(1 / 1.4)
+	// Baseline total 40% faster than reality: the gate must trip.
+	p = writeBaseline(func(r *benchResult) { r.TotalMS /= 1.4 })
 	err = run([]string{"-dirty-mb", "1", "-strategy", "sprite-flush", "-baseline", p}, &buf)
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
-		t.Fatalf("gate did not trip on a 40%% regression: %v", err)
+		t.Fatalf("gate did not trip on a 40%% total regression: %v", err)
+	}
+	// Only the VM phase regresses (total left alone): the per-phase gate
+	// must trip on its own.
+	p = writeBaseline(func(r *benchResult) { r.VMMS /= 1.4 })
+	err = run([]string{"-dirty-mb", "1", "-strategy", "sprite-flush", "-baseline", p}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "phase vm") {
+		t.Fatalf("gate did not trip on a 40%% vm-phase regression: %v", err)
+	}
+	// A near-zero baseline phase (overlapped streams) is reported but not
+	// gated, even if the current value is larger.
+	p = writeBaseline(func(r *benchResult) { r.StreamsMS = 0 })
+	buf.Reset()
+	if err := run([]string{"-dirty-mb", "1", "-strategy", "sprite-flush", "-baseline", p}, &buf); err != nil {
+		t.Fatalf("zero-baseline streams phase tripped the gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "too small to gate") {
+		t.Fatalf("ungated-phase note absent:\n%s", buf.String())
 	}
 	// Missing baseline: disarmed, not an error.
 	buf.Reset()

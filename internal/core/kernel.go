@@ -104,6 +104,7 @@ func newKernel(c *Cluster, host rpc.HostID) *Kernel {
 	k.ep.Handle("k.killpg", k.handleKillpg)
 	k.ep.Handle("k.evict", k.handleEvict)
 	k.ep.Handle("k.fetchPage", k.handleFetchPage)
+	k.ep.Handle("k.migPages", k.handleMigPages)
 	return k
 }
 
@@ -549,6 +550,10 @@ type (
 		PID  PID
 		Page int
 	}
+	migPagesArgs struct {
+		PID   PID
+		Pages int
+	}
 )
 
 func (k *Kernel) handleForward(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
@@ -669,4 +674,18 @@ func (k *Kernel) handleFetchPage(env *sim.Env, from rpc.HostID, arg any) (any, i
 		return nil, 0, err
 	}
 	return nil, k.params.VM.PageSize + k.params.PageWireOverhead, nil
+}
+
+// handleMigPages accepts a bulk page shipment at the target of a direct-copy
+// migration (full-copy, pre-copy). The pages landed via the bulk fragment
+// stream, whose wire cost the caller already paid; installing them costs one
+// fault's worth of CPU for the mapping batch.
+func (k *Kernel) handleMigPages(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+	if _, ok := arg.(migPagesArgs); !ok {
+		return nil, 0, fmt.Errorf("k.migPages: bad args %T", arg)
+	}
+	if err := k.cpu.Compute(env, k.params.VM.FaultCPU); err != nil {
+		return nil, 0, err
+	}
+	return nil, 16, nil
 }

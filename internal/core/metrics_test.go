@@ -35,8 +35,11 @@ func TestMigrationPhaseMetrics(t *testing.T) {
 		t.Fatalf("migrations = %d, want 1", len(recs))
 	}
 	rec := recs[0]
-	if rec.NegotiateTime <= 0 || rec.VMTime <= 0 || rec.FileTime <= 0 || rec.PCBTime <= 0 {
-		t.Fatalf("phase times must all be positive: %+v", rec)
+	// FileTime may be zero: with the batched data plane the stream transfer
+	// overlaps the VM transfer, and its span covers only the tail that
+	// outlives the VM work.
+	if rec.NegotiateTime <= 0 || rec.VMTime <= 0 || rec.FileTime < 0 || rec.PCBTime <= 0 {
+		t.Fatalf("phase times must all be non-negative (negotiate/vm/pcb positive): %+v", rec)
 	}
 	// The phases tile Total with no gap: spans are contiguous in virtual
 	// time, so the decomposition must be exact, not approximate.

@@ -31,9 +31,18 @@ func newMigMeter(reg *metrics.Registry) *migMeter {
 // next closes the current phase span, opens the next one, and returns the
 // closed phase's duration (zero for the first call).
 func (m *migMeter) next(env *sim.Env, phase string) time.Duration {
-	d := m.span.End(env.Now())
+	return m.nextAt(phase, env.Now())
+}
+
+// nextAt is next with an explicit boundary time. Overlapped phases use it to
+// keep the spans tiling Total exactly: when stream transfer runs concurrently
+// with the VM transfer, the vm span is closed retroactively at the instant
+// the VM work finished and the streams span covers only the tail that
+// outlived it (zero if the streams finished first).
+func (m *migMeter) nextAt(phase string, at time.Duration) time.Duration {
+	d := m.span.End(at)
 	m.phase = phase
-	m.span = m.reg.StartSpan("mig.phase."+phase, env.Now())
+	m.span = m.reg.StartSpan("mig.phase."+phase, at)
 	return d
 }
 
@@ -81,5 +90,11 @@ func (m *migMeter) observeTotals(rec *MigrationRecord) {
 	}
 	if rec.Residual {
 		m.reg.Counter("mig.residual").Inc()
+	}
+	if rec.Batched {
+		m.reg.Counter("mig.batch.migrations").Inc()
+		m.reg.Counter("mig.batch.runs").Add(int64(rec.BatchRuns))
+		m.reg.Counter("mig.batch.fragments").Add(int64(rec.BatchFragments))
+		m.reg.Counter("mig.batch.retransmits").Add(int64(rec.BatchRetransmits))
 	}
 }

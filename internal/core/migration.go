@@ -49,6 +49,14 @@ type MigrationRecord struct {
 	Residual bool
 	// Strategy names the VM transfer strategy used.
 	Strategy string
+
+	// Batched marks a migration whose VM transfer used the bulk data
+	// plane; BatchRuns / BatchFragments / BatchRetransmits detail it
+	// (all zero on the legacy per-page path).
+	Batched          bool
+	BatchRuns        int
+	BatchFragments   int
+	BatchRetransmits int
 }
 
 // RequestMigration asks for p to migrate to target at its next migration
@@ -162,27 +170,65 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 	}
 	rec.NegotiateTime = mm.next(env, "vm."+rec.Strategy)
 
-	// 2. Virtual memory, per the configured strategy.
+	// 2 + 3. Virtual memory and open streams. With the batched data plane's
+	// overlap on, the stream transfer runs in its own activity concurrent
+	// with the VM transfer: both phases still tile Total exactly because the
+	// vm span closes retroactively at the instant the VM work finished and
+	// the streams span covers only the tail that outlived it (zero when the
+	// streams won the race).
+	overlap := k.params.Batch.Enabled && k.params.Batch.OverlapStreams
 	tVM := env.Now()
-	if err := k.strategy.Transfer(env, k, target, p, &rec); err != nil {
-		return abort(fmt.Errorf("vm transfer: %w", err))
+	var strmDone *sim.Future
+	if overlap {
+		strmDone = sim.NewFuture(k.cluster.sim)
+		env.Spawn(fmt.Sprintf("mig-streams-%v", p.pid), func(senv *sim.Env) error {
+			mv, serr := k.transferStreams(senv, p, target, &rec)
+			strmDone.Complete(mv, serr)
+			return nil
+		})
 	}
-	if err := k.cluster.failAt(env, "mig.vm", p.pid); err != nil {
-		return abort(err)
+	vmErr := k.strategy.Transfer(env, k, target, p, &rec)
+	if vmErr != nil {
+		vmErr = fmt.Errorf("vm transfer: %w", vmErr)
+	} else {
+		vmErr = k.cluster.failAt(env, "mig.vm", p.pid)
 	}
-	rec.VMTime = env.Now() - tVM
-	mm.next(env, "streams")
-
-	// 3. Open streams, coordinated with each I/O server.
-	tF := env.Now()
-	var serr error
-	if moved, serr = k.transferStreams(env, p, target, &rec); serr != nil {
-		return abort(fmt.Errorf("stream transfer: %w", serr))
+	tVMEnd := env.Now()
+	if overlap {
+		// Join the stream mover before acting on any error: abort recovery
+		// needs the final moved list, and the mover must not outlive the
+		// migration it belongs to.
+		mv, serr := strmDone.Wait(env)
+		if ms, ok := mv.([]*fs.Stream); ok {
+			moved = ms
+		}
+		if vmErr != nil {
+			return abort(vmErr)
+		}
+		rec.VMTime = mm.nextAt("streams", tVMEnd)
+		if serr != nil {
+			return abort(fmt.Errorf("stream transfer: %w", serr))
+		}
+		if err := k.cluster.failAt(env, "mig.streams", p.pid); err != nil {
+			return abort(err)
+		}
+		rec.FileTime = env.Now() - tVMEnd
+	} else {
+		if vmErr != nil {
+			return abort(vmErr)
+		}
+		rec.VMTime = env.Now() - tVM
+		mm.next(env, "streams")
+		tF := env.Now()
+		var serr error
+		if moved, serr = k.transferStreams(env, p, target, &rec); serr != nil {
+			return abort(fmt.Errorf("stream transfer: %w", serr))
+		}
+		if err := k.cluster.failAt(env, "mig.streams", p.pid); err != nil {
+			return abort(err)
+		}
+		rec.FileTime = env.Now() - tF
 	}
-	if err := k.cluster.failAt(env, "mig.streams", p.pid); err != nil {
-		return abort(err)
-	}
-	rec.FileTime = env.Now() - tF
 	mm.next(env, "pcb")
 
 	// 4. PCB and residual untyped state.

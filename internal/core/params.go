@@ -55,6 +55,31 @@ type Params struct {
 	// PageWireOverhead is the per-page message overhead for strategies
 	// that ship pages directly between kernels.
 	PageWireOverhead int
+
+	// Batch configures the batched migration data plane.
+	Batch BatchParams
+}
+
+// BatchParams holds the knobs of the batched, pipelined migration data
+// plane. The batched path is the default; disabling it restores the legacy
+// one-RPC-per-page behaviour as an ablation.
+type BatchParams struct {
+	// Enabled routes migration VM traffic through the bulk-transfer RPC
+	// path: dirty pages flush as coalesced runs (fs.writeBulk), direct-copy
+	// strategies ship pages as pipelined fragment streams (k.migPages), and
+	// the migrated process demand-pages through the readahead pager.
+	Enabled bool
+	// MaxRunPages bounds one bulk transfer's length in pages (0 =
+	// unlimited): long flush runs are split so a single call never
+	// monopolizes the server or the wire.
+	MaxRunPages int
+	// PrefetchPages is the target-side readahead window: a post-migration
+	// fault pulls up to this many pages in one bulk read. Values < 2
+	// disable readahead.
+	PrefetchPages int
+	// OverlapStreams runs the open-stream transfer concurrently with the
+	// VM transfer during migration, instead of strictly after it.
+	OverlapStreams bool
 }
 
 // DefaultParams returns the Sun-3-era calibration.
@@ -81,5 +106,12 @@ func DefaultParams() Params {
 		IdleInputAge:      30 * time.Second,
 
 		PageWireOverhead: 64,
+
+		Batch: BatchParams{
+			Enabled:        true,
+			MaxRunPages:    256,
+			PrefetchPages:  16,
+			OverlapStreams: true,
+		},
 	}
 }

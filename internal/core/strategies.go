@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"sprite/internal/rpc"
 	"sprite/internal/sim"
 	"sprite/internal/vm"
 )
@@ -32,17 +33,30 @@ var _ TransferStrategy = SpriteFlushStrategy{}
 // Name implements TransferStrategy.
 func (SpriteFlushStrategy) Name() string { return "sprite-flush" }
 
-// Transfer implements TransferStrategy.
+// Transfer implements TransferStrategy. With the batched data plane enabled
+// the dirty set flushes as coalesced page runs through fs.writeBulk — one
+// handshake and a pipelined fragment stream per run — instead of one
+// synchronous RPC per block.
 func (SpriteFlushStrategy) Transfer(env *sim.Env, src, dst *Kernel, p *Process, rec *MigrationRecord) error {
 	if p.space == nil {
 		return nil
 	}
-	n, err := p.space.FlushDirty(env, src.fsc)
-	if err != nil {
-		return err
+	if b := src.params.Batch; b.Enabled {
+		n, bs, err := p.space.FlushDirtyBulk(env, src.fsc, b.MaxRunPages)
+		if err != nil {
+			return err
+		}
+		rec.PagesFlushed = n
+		rec.VMBytes = n * src.params.VM.PageSize
+		noteBatch(rec, bs)
+	} else {
+		n, err := p.space.FlushDirty(env, src.fsc)
+		if err != nil {
+			return err
+		}
+		rec.PagesFlushed = n
+		rec.VMBytes = n * src.params.VM.PageSize
 	}
-	rec.PagesFlushed = n
-	rec.VMBytes = n * src.params.VM.PageSize
 	for _, seg := range p.space.Segments() {
 		seg.InvalidateAll()
 	}
@@ -50,9 +64,38 @@ func (SpriteFlushStrategy) Transfer(env *sim.Env, src, dst *Kernel, p *Process, 
 }
 
 // TargetPager implements TransferStrategy: normal file-system paging on the
-// target.
+// target — through the readahead pager when batching is on, so the process
+// repopulates its resident set in runs.
 func (SpriteFlushStrategy) TargetPager(src, dst *Kernel) vm.Pager {
+	if b := dst.params.Batch; b.Enabled && b.PrefetchPages > 1 {
+		return &vm.ReadaheadPager{Client: dst.fsc, Window: b.PrefetchPages}
+	}
 	return &vm.FilePager{Client: dst.fsc}
+}
+
+// noteBatch folds one bulk transfer's wire stats into the record.
+func noteBatch(rec *MigrationRecord, bs rpc.BulkStats) {
+	rec.Batched = true
+	rec.BatchRuns += bs.Calls
+	rec.BatchFragments += bs.Fragments
+	rec.BatchRetransmits += bs.Retransmits
+}
+
+// sendPages ships a block of pages from src to dst: over the bulk path (one
+// k.migPages transfer of pipelined fragments) when batching is enabled,
+// otherwise as one legacy network send.
+func sendPages(env *sim.Env, src, dst *Kernel, p *Process, rec *MigrationRecord, pages, pageBytes int) error {
+	if b := src.params.Batch; b.Enabled {
+		_, bs, err := src.ep.CallBulk(env, dst.host, "k.migPages", migPagesArgs{
+			PID: p.pid, Pages: pages,
+		}, 32, pages*pageBytes, rpc.BulkOut)
+		if err != nil {
+			return err
+		}
+		noteBatch(rec, bs)
+		return nil
+	}
+	return src.cluster.net.Send(env, pages*pageBytes)
 }
 
 // FullCopyStrategy ships the entire resident image directly to the target
@@ -77,7 +120,7 @@ func (FullCopyStrategy) Transfer(env *sim.Env, src, dst *Kernel, p *Process, rec
 		pages += seg.ResidentCount()
 	}
 	if pages > 0 {
-		if err := src.cluster.net.Send(env, pages*pageBytes); err != nil {
+		if err := sendPages(env, src, dst, p, rec, pages, pageBytes); err != nil {
 			return err
 		}
 	}
@@ -173,13 +216,20 @@ func (s PreCopyStrategy) Transfer(env *sim.Env, src, dst *Kernel, p *Process, re
 		toCopy += seg.ResidentCount()
 	}
 	copied := 0
+	batched := src.params.Batch.Enabled
 	for pass := 0; pass < maxPasses && toCopy > threshold; pass++ {
-		if err := src.cluster.net.Send(env, toCopy*pageBytes); err != nil {
+		t0 := env.Now()
+		if err := sendPages(env, src, dst, p, rec, toCopy, pageBytes); err != nil {
 			return err
 		}
 		copied += toCopy
-		// Pages dirtied during this pass must be re-sent.
+		// Pages dirtied during this pass must be re-sent. The legacy path
+		// keeps its analytic pass-time estimate; the bulk path measures the
+		// pass it actually took (pipelining makes the estimate wrong).
 		passTime := time.Duration(toCopy) * perPage
+		if batched {
+			passTime = env.Now() - t0
+		}
 		redirtied := int(s.RedirtyPagesPerSec * passTime.Seconds())
 		if redirtied > toCopy {
 			redirtied = toCopy
@@ -189,7 +239,7 @@ func (s PreCopyStrategy) Transfer(env *sim.Env, src, dst *Kernel, p *Process, re
 	// Final, frozen pass.
 	tFreeze := env.Now()
 	if toCopy > 0 {
-		if err := src.cluster.net.Send(env, toCopy*pageBytes); err != nil {
+		if err := sendPages(env, src, dst, p, rec, toCopy, pageBytes); err != nil {
 			return err
 		}
 		copied += toCopy

@@ -104,6 +104,12 @@ type Params struct {
 	// pushed to the server synchronously (an ablation of Sprite's delayed
 	// writes; costs server traffic but removes dirty-cache recalls).
 	WriteThrough bool
+	// BulkPerBlockCPU is server CPU charged per block inside a bulk
+	// transfer (fs.writeBulk / fs.readBulk), on top of one BlockServerCPU
+	// for the whole batch. Bulk requests amortize the per-request protocol
+	// work across the batch, so the marginal block is much cheaper than a
+	// standalone fs.write.
+	BulkPerBlockCPU time.Duration
 }
 
 // DefaultParams returns Sun-3-era file system parameters.
@@ -115,6 +121,7 @@ func DefaultParams() Params {
 		DiskPerBlock:      15 * time.Millisecond,
 		ClientCacheBlocks: 1024, // 4 MB of cache
 		WriteBackDelay:    30 * time.Second,
+		BulkPerBlockCPU:   100 * time.Microsecond,
 	}
 }
 

@@ -53,6 +53,23 @@ type (
 		Version uint64
 		Size    int
 	}
+	// Bulk-transfer messages: one request covers a contiguous byte range
+	// spanning many blocks; the payload travels as pipelined fragments
+	// (rpc.CallBulk) rather than one message per block.
+	writeBulkArgs struct {
+		FID     FileID
+		Off     int64
+		Data    []byte
+		NewSize int // -1 to keep current size
+	}
+	readBulkArgs struct {
+		FID FileID
+		Off int64
+		N   int
+	}
+	readBulkReply struct {
+		Data []byte
+	}
 	statArgs struct {
 		Path string
 	}
@@ -155,6 +172,8 @@ type ServerStats struct {
 	ColdReads   uint64
 	FlushRecall uint64 // consistency callbacks asking a client to flush
 	Disables    uint64 // times caching was disabled for a file
+	BulkWrites  uint64 // fs.writeBulk batches served
+	BulkReads   uint64 // fs.readBulk batches served
 }
 
 // Server is one Sprite file server: the authority for the files in its
@@ -193,6 +212,8 @@ func newServer(f *FS, host rpc.HostID) *Server {
 	ep.Handle("fs.close", srv.handleClose)
 	ep.Handle("fs.read", srv.handleRead)
 	ep.Handle("fs.write", srv.handleWrite)
+	ep.Handle("fs.readBulk", srv.handleReadBulk)
+	ep.Handle("fs.writeBulk", srv.handleWriteBulk)
 	ep.Handle("fs.stat", srv.handleStat)
 	ep.Handle("fs.remove", srv.handleRemove)
 	ep.Handle("fs.offset", srv.handleOffset)
@@ -477,6 +498,116 @@ func (s *Server) handleWrite(env *sim.Env, from rpc.HostID, arg any) (any, int, 
 	fl.version++
 	fl.mtime = env.Now()
 	return writeReply{Version: fl.version, Size: len(fl.data)}, 32, nil
+}
+
+// bulkCPU charges the per-batch server cost for a bulk transfer covering
+// `blocks` blocks: one BlockServerCPU for the request as a whole, plus the
+// (much cheaper) BulkPerBlockCPU marginal cost per block.
+func (s *Server) bulkCPU(env *sim.Env, blocks int) error {
+	if err := s.chargeCPU(env, s.fs.params.BlockServerCPU); err != nil {
+		return err
+	}
+	if blocks > 1 {
+		return s.chargeCPU(env, time.Duration(blocks-1)*s.fs.params.BulkPerBlockCPU)
+	}
+	return nil
+}
+
+// handleWriteBulk applies one contiguous multi-block write delivered through
+// the bulk-transfer path.
+func (s *Server) handleWriteBulk(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+	a, ok := arg.(writeBulkArgs)
+	if !ok {
+		return nil, 0, fmt.Errorf("fs.writeBulk: bad args %T", arg)
+	}
+	fl, err := s.lookup(a.FID)
+	if err != nil {
+		return nil, 0, err
+	}
+	bs := s.fs.params.BlockSize
+	lo := int(a.Off)
+	hi := lo + len(a.Data)
+	first := lo / bs
+	last := (hi - 1) / bs
+	if len(a.Data) == 0 {
+		last = first
+	}
+	if err := s.bulkCPU(env, last-first+1); err != nil {
+		return nil, 0, err
+	}
+	s.stats.BulkWrites++
+	for b := first; b <= last; b++ {
+		fl.touched[b] = true
+	}
+	s.stats.BlocksWrite += uint64(last - first + 1)
+	need := hi
+	if a.NewSize >= 0 && a.NewSize > need {
+		need = a.NewSize
+	}
+	if need > len(fl.data) {
+		grown := make([]byte, need)
+		copy(grown, fl.data)
+		fl.data = grown
+	}
+	copy(fl.data[lo:], a.Data)
+	if a.NewSize >= 0 && a.NewSize < len(fl.data) {
+		fl.data = fl.data[:a.NewSize]
+	}
+	fl.version++
+	fl.mtime = env.Now()
+	return writeReply{Version: fl.version, Size: len(fl.data)}, 32, nil
+}
+
+// handleReadBulk serves one contiguous multi-block read; the reply payload
+// streams back to the caller as pipelined fragments.
+func (s *Server) handleReadBulk(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {
+	a, ok := arg.(readBulkArgs)
+	if !ok {
+		return nil, 0, fmt.Errorf("fs.readBulk: bad args %T", arg)
+	}
+	fl, err := s.lookup(a.FID)
+	if err != nil {
+		return nil, 0, err
+	}
+	bs := s.fs.params.BlockSize
+	lo := int(a.Off)
+	hi := lo + a.N
+	if hi > len(fl.data) {
+		hi = len(fl.data)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	first := lo / bs
+	last := first
+	if hi > lo {
+		last = (hi - 1) / bs
+	}
+	if err := s.bulkCPU(env, last-first+1); err != nil {
+		return nil, 0, err
+	}
+	s.stats.BulkReads++
+	// Cold blocks still pay their disk transfers, back to back: a bulk read
+	// of untouched data is one long sequential disk run.
+	var cold int
+	for b := first; b <= last; b++ {
+		if !fl.touched[b] {
+			cold++
+			fl.touched[b] = true
+		}
+	}
+	if cold > 0 {
+		s.stats.ColdReads += uint64(cold)
+		if s.fs.params.DiskPerBlock > 0 {
+			if err := s.disk.Use(env, time.Duration(cold)*s.fs.params.DiskPerBlock); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	s.stats.BlocksRead += uint64(last - first + 1)
+	data := make([]byte, hi-lo)
+	copy(data, fl.data[lo:hi])
+	return readBulkReply{Data: data}, 16 + len(data), nil
 }
 
 func (s *Server) handleStat(env *sim.Env, from rpc.HostID, arg any) (any, int, error) {

@@ -111,6 +111,45 @@ func (n *Network) Send(env *sim.Env, bytes int) error {
 	return nil
 }
 
+// SendPipelined charges the calling activity for one fragment of a pipelined
+// stream: the fragment occupies the medium for its transfer time, but the
+// per-message latency is not paid — in a windowed bulk protocol the
+// propagation delay overlaps with the fragments already in flight, so the
+// caller charges latency once per stream (and per stall), not per fragment.
+// Accounting, the fault hook, and contention behave exactly as in Send.
+func (n *Network) SendPipelined(env *sim.Env, bytes int) error {
+	n.messages++
+	if bytes > 0 {
+		n.bytes += uint64(bytes)
+	}
+	var extra time.Duration
+	var drop bool
+	if n.hook != nil {
+		extra, drop = n.hook(env, bytes)
+		if extra > 0 {
+			n.delayed++
+		}
+	}
+	xfer := n.TransferTime(bytes)
+	if n.medium != nil {
+		if err := n.medium.Use(env, xfer); err != nil {
+			return err
+		}
+		if extra > 0 {
+			if err := env.Sleep(extra); err != nil {
+				return err
+			}
+		}
+	} else if err := env.Sleep(xfer + extra); err != nil {
+		return err
+	}
+	if drop {
+		n.dropped++
+		return ErrDropped
+	}
+	return nil
+}
+
 // SetHook installs (or, with nil, removes) the fault hook consulted on every
 // Send. With no hook installed, Send behaves exactly as before — the default
 // path stays bit-identical for golden runs.

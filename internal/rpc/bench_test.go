@@ -1,0 +1,45 @@
+package rpc
+
+import (
+	"testing"
+
+	"sprite/internal/sim"
+)
+
+// BenchmarkCallBulk measures the bulk-transfer hot path: one handshake plus
+// a windowed pipeline of fragments moving 256 KiB.
+func BenchmarkCallBulk(b *testing.B) {
+	benchTransfer(b, func(env *sim.Env, tr *Transport) error {
+		_, _, err := tr.Endpoint(1).CallBulk(env, 2, "blob", nil, 64, 256<<10, BulkOut)
+		return err
+	})
+}
+
+// BenchmarkCallPerFragment is the ablation: the same 256 KiB as sixteen
+// independent synchronous calls, each paying a full round trip.
+func BenchmarkCallPerFragment(b *testing.B) {
+	benchTransfer(b, func(env *sim.Env, tr *Transport) error {
+		for i := 0; i < 16; i++ {
+			if _, err := tr.Endpoint(1).Call(env, 2, "blob", nil, 16<<10); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func benchTransfer(b *testing.B, xfer func(env *sim.Env, tr *Transport) error) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, tr := newBulkFabric(b, 2)
+		tr.Endpoint(2).Handle("blob", func(env *sim.Env, from HostID, arg any) (any, int, error) {
+			return nil, 16, nil
+		})
+		s.Spawn("caller", func(env *sim.Env) error {
+			return xfer(env, tr)
+		})
+		if err := s.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -87,6 +87,16 @@ type Params struct {
 	// RetryBackoff is the extra pause before the first retransmission,
 	// doubling on each subsequent one.
 	RetryBackoff time.Duration
+	// BulkFragmentBytes is the payload carried by one fragment of a bulk
+	// transfer (CallBulk). Fragments are pipelined: only the first in a
+	// window pays the one-way latency.
+	BulkFragmentBytes int
+	// BulkWindow is how many bulk fragments may be in flight before the
+	// sender must wait for an acknowledgement from the receiver.
+	BulkWindow int
+	// BulkFragOverhead is the per-fragment header cost in bytes (sequence
+	// number, checksum, transaction id).
+	BulkFragOverhead int
 }
 
 // DefaultParams returns Sun-3-era RPC software overhead (about 1 ms of
@@ -94,10 +104,13 @@ type Params struct {
 // loss-recovery constants in the spirit of Sprite's RPC channel timeouts.
 func DefaultParams() Params {
 	return Params{
-		ClientOverhead: 1 * time.Millisecond,
-		CallTimeout:    25 * time.Millisecond,
-		MaxRetries:     4,
-		RetryBackoff:   10 * time.Millisecond,
+		ClientOverhead:    1 * time.Millisecond,
+		CallTimeout:       25 * time.Millisecond,
+		MaxRetries:        4,
+		RetryBackoff:      10 * time.Millisecond,
+		BulkFragmentBytes: 16 << 10,
+		BulkWindow:        8,
+		BulkFragOverhead:  32,
 	}
 }
 
@@ -129,6 +142,11 @@ type Transport struct {
 		retries  *metrics.Counter
 		timeouts *metrics.Counter
 		perHost  map[HostID]*hostCounters
+
+		bulkCalls       *metrics.Counter
+		bulkBytes       *metrics.Counter
+		bulkFragments   *metrics.Counter
+		bulkRetransmits *metrics.Counter
 	}
 }
 
@@ -147,6 +165,7 @@ func (t *Transport) SetMetrics(reg *metrics.Registry) {
 	t.m.perHost = nil
 	if reg == nil {
 		t.m.calls, t.m.bytes, t.m.errs, t.m.retries, t.m.timeouts = nil, nil, nil, nil, nil
+		t.m.bulkCalls, t.m.bulkBytes, t.m.bulkFragments, t.m.bulkRetransmits = nil, nil, nil, nil
 		return
 	}
 	t.m.calls = reg.Counter("rpc.calls")
@@ -154,6 +173,10 @@ func (t *Transport) SetMetrics(reg *metrics.Registry) {
 	t.m.errs = reg.Counter("rpc.errs")
 	t.m.retries = reg.Counter("rpc.retries")
 	t.m.timeouts = reg.Counter("rpc.timeouts")
+	t.m.bulkCalls = reg.Counter("rpc.bulk.calls")
+	t.m.bulkBytes = reg.Counter("rpc.bulk.bytes")
+	t.m.bulkFragments = reg.Counter("rpc.bulk.fragments")
+	t.m.bulkRetransmits = reg.Counter("rpc.bulk.retransmits")
 	t.m.perHost = make(map[HostID]*hostCounters)
 }
 

@@ -103,6 +103,7 @@ type Stats struct {
 type Simulation struct {
 	now     time.Duration
 	queue   eventHeap
+	free    []*event // recycled event structs, reused by schedule
 	seq     uint64
 	actSeq  uint64
 	yield   chan struct{} // activity -> scheduler handoff
@@ -188,12 +189,30 @@ func (s *Simulation) After(d time.Duration, fn func()) {
 
 func (s *Simulation) schedule(at time.Duration, a *activity, fn func()) *event {
 	s.seq++
-	ev := &event{at: at, seq: s.seq, act: a, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*ev = event{at: at, seq: s.seq, act: a, fn: fn}
+	} else {
+		ev = &event{at: at, seq: s.seq, act: a, fn: fn}
+	}
 	heap.Push(&s.queue, ev)
 	if n := len(s.queue); n > s.stats.MaxQueueDepth {
 		s.stats.MaxQueueDepth = n
 	}
 	return ev
+}
+
+// release recycles a popped event. Callers must have copied the fields they
+// need first: the struct may be handed out again by the very next schedule.
+// Safe because the only long-lived pointer into the queue — activity.wake —
+// is cleared before the event is released (cancelled timers are cleared by
+// wakeNow, fired timers by dispatch).
+func (s *Simulation) release(ev *event) {
+	*ev = event{}
+	s.free = append(s.free, ev)
 }
 
 // Run executes events until the queue is empty, until time limit is reached
@@ -202,22 +221,24 @@ func (s *Simulation) schedule(at time.Duration, a *activity, fn func()) *event {
 func (s *Simulation) Run(limit time.Duration) error {
 	for len(s.queue) > 0 && !s.stopped {
 		ev := heap.Pop(&s.queue).(*event)
-		if ev.act == nil && ev.fn == nil {
+		at, act, fn := ev.at, ev.act, ev.fn
+		s.release(ev)
+		if act == nil && fn == nil {
 			continue // cancelled timer
 		}
-		if limit > 0 && ev.at > limit {
+		if limit > 0 && at > limit {
 			s.now = limit
 			break
 		}
-		if ev.at > s.now {
-			s.now = ev.at
+		if at > s.now {
+			s.now = at
 		}
 		s.stats.EventsDispatched++
-		if ev.fn != nil {
-			ev.fn()
+		if fn != nil {
+			fn()
 		}
-		if ev.act != nil {
-			s.dispatch(ev.act)
+		if act != nil {
+			s.dispatch(act)
 		}
 	}
 	if s.stopped {
@@ -261,26 +282,39 @@ func (s *Simulation) Stop() { s.stopped = true }
 // drain wakes every remaining blocked activity with ErrStopped so that no
 // goroutines are leaked after Run returns.
 func (s *Simulation) drain() {
+	// Wake the blocked activities in id order. Dispatching one can unblock
+	// or spawn others, so sweep over a snapshot sorted once per pass and
+	// repeat until a whole pass wakes nobody — instead of re-scanning the
+	// live set for the minimum id before every single dispatch.
+	snap := make([]*activity, 0, len(s.live))
 	for {
-		var next *activity
+		snap = snap[:0]
 		for _, a := range s.live {
-			if a.state == stateBlocked && (next == nil || a.id < next.id) {
-				next = a
+			if a.state == stateBlocked {
+				snap = append(snap, a)
 			}
 		}
-		if next == nil {
+		if len(snap) == 0 {
 			break
 		}
-		next.env.wakeErr = ErrStopped
-		s.dispatch(next)
+		sort.Slice(snap, func(i, j int) bool { return snap[i].id < snap[j].id })
+		for _, a := range snap {
+			if a.state != stateBlocked {
+				continue
+			}
+			a.env.wakeErr = ErrStopped
+			s.dispatch(a)
+		}
 	}
 	// Ready activities (spawned but never run) still hold queued events;
 	// run them so their goroutines exit too.
 	for len(s.queue) > 0 {
 		ev := heap.Pop(&s.queue).(*event)
-		if ev.act != nil && ev.act.state != stateDone {
-			ev.act.env.wakeErr = ErrStopped
-			s.dispatch(ev.act)
+		act := ev.act
+		s.release(ev)
+		if act != nil && act.state != stateDone {
+			act.env.wakeErr = ErrStopped
+			s.dispatch(act)
 		}
 	}
 }

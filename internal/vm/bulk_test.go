@@ -1,0 +1,164 @@
+package vm
+
+import (
+	"testing"
+
+	"sprite/internal/sim"
+)
+
+func TestFlushDirtyBulkCoalescesAndClears(t *testing.T) {
+	h := newHarness(t)
+	h.run(t, func(env *sim.Env) error {
+		as := newSpace(t, env, h, "p1", 16)
+		// Two dirty extents with a gap: pages 0-5 and 8-11.
+		for _, i := range []int{0, 1, 2, 3, 4, 5, 8, 9, 10, 11} {
+			if err := as.Touch(env, as.Heap, i, true); err != nil {
+				return err
+			}
+		}
+		n, bs, err := as.FlushDirtyBulk(env, h.fs.Client(2), 4)
+		if err != nil {
+			return err
+		}
+		if n != 10 || as.DirtyPages() != 0 {
+			t.Fatalf("flushed %d pages, %d still dirty", n, as.DirtyPages())
+		}
+		// The 6-page extent splits at maxRunPages=4 into 4+2; the 4-page
+		// extent ships whole: three bulk calls for ten pages.
+		if bs.Calls != 3 {
+			t.Errorf("bulk calls = %d, want 3", bs.Calls)
+		}
+		if want := 10 * as.Params().PageSize; bs.Bytes != want {
+			t.Errorf("bulk bytes = %d, want %d", bs.Bytes, want)
+		}
+		if as.Stats().PageOuts != 10 {
+			t.Errorf("page-outs = %d, want 10", as.Stats().PageOuts)
+		}
+		return nil
+	})
+}
+
+func TestFlushDirtyBulkFasterThanLegacy(t *testing.T) {
+	h := newHarness(t)
+	h.run(t, func(env *sim.Env) error {
+		dirtyAll := func(as *AddressSpace) error {
+			for i := 0; i < 32; i++ {
+				if err := as.Touch(env, as.Heap, i, true); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		legacy := newSpace(t, env, h, "legacy", 32)
+		if err := dirtyAll(legacy); err != nil {
+			return err
+		}
+		t0 := env.Now()
+		if _, err := legacy.FlushDirty(env, h.fs.Client(2)); err != nil {
+			return err
+		}
+		legacyTook := env.Now() - t0
+
+		bulk := newSpace(t, env, h, "bulk", 32)
+		if err := dirtyAll(bulk); err != nil {
+			return err
+		}
+		t0 = env.Now()
+		if _, _, err := bulk.FlushDirtyBulk(env, h.fs.Client(2), 256); err != nil {
+			return err
+		}
+		bulkTook := env.Now() - t0
+		if bulkTook >= legacyTook {
+			t.Errorf("bulk flush %v not faster than legacy %v", bulkTook, legacyTook)
+		}
+		return nil
+	})
+}
+
+func TestReadaheadPagerFillsRuns(t *testing.T) {
+	h := newHarness(t)
+	h.run(t, func(env *sim.Env) error {
+		as := newSpace(t, env, h, "p1", 16)
+		for i := 0; i < 16; i++ {
+			if err := as.Touch(env, as.Heap, i, true); err != nil {
+				return err
+			}
+		}
+		// Flush so the backing store has every page, then drop the resident
+		// set — the state of a freshly migrated process under sprite-flush.
+		if _, _, err := as.FlushDirtyBulk(env, h.fs.Client(2), 0); err != nil {
+			return err
+		}
+		as.Heap.InvalidateAll()
+		as.Heap.SetPager(&ReadaheadPager{Client: h.fs.Client(2), Window: 4})
+
+		faults0 := as.Stats().Faults
+		if err := as.Touch(env, as.Heap, 0, false); err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			if !as.Heap.Resident(i) {
+				t.Fatalf("page %d not resident after readahead fault", i)
+			}
+		}
+		if as.Heap.Resident(4) {
+			t.Fatal("page 4 resident beyond the readahead window")
+		}
+		if got := as.Stats().Prefetched; got != 3 {
+			t.Errorf("prefetched = %d, want 3", got)
+		}
+		// The prefetched pages must not fault again.
+		for i := 1; i < 4; i++ {
+			if err := as.Touch(env, as.Heap, i, false); err != nil {
+				return err
+			}
+		}
+		if got := as.Stats().Faults - faults0; got != 1 {
+			t.Errorf("faults = %d for 4 touches, want 1", got)
+		}
+		// A run stops early at an already-resident page.
+		as.Heap.MarkResident(6, false)
+		if err := as.Touch(env, as.Heap, 4, false); err != nil {
+			return err
+		}
+		if !as.Heap.Resident(5) || as.Heap.Resident(7) {
+			t.Errorf("run after resident page: 5=%v 7=%v, want true,false",
+				as.Heap.Resident(5), as.Heap.Resident(7))
+		}
+		return nil
+	})
+}
+
+// BenchmarkFlushDirtyBulk measures the batched migration flush hot path:
+// a fully dirty 64-page heap coalesced into bulk transfers.
+func BenchmarkFlushDirtyBulk(b *testing.B) {
+	benchFlush(b, func(env *sim.Env, h *harness, as *AddressSpace) error {
+		_, _, err := as.FlushDirtyBulk(env, h.fs.Client(2), 256)
+		return err
+	})
+}
+
+// BenchmarkFlushDirtyLegacy is the ablation: the same flush paying one
+// synchronous RPC per block.
+func BenchmarkFlushDirtyLegacy(b *testing.B) {
+	benchFlush(b, func(env *sim.Env, h *harness, as *AddressSpace) error {
+		_, err := as.FlushDirty(env, h.fs.Client(2))
+		return err
+	})
+}
+
+func benchFlush(b *testing.B, flush func(env *sim.Env, h *harness, as *AddressSpace) error) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := newHarness(b)
+		h.run(b, func(env *sim.Env) error {
+			as := newSpace(b, env, h, "bench", 64)
+			for p := 0; p < 64; p++ {
+				if err := as.Touch(env, as.Heap, p, true); err != nil {
+					return err
+				}
+			}
+			return flush(env, h, as)
+		})
+	}
+}

@@ -76,6 +76,9 @@ type Stats struct {
 	Faults   uint64
 	PageIns  uint64
 	PageOuts uint64
+	// Prefetched counts pages brought in ahead of demand by the readahead
+	// pager (they become resident without taking a fault of their own).
+	Prefetched uint64
 }
 
 // Segment is one region of an address space.
