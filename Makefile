@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-baseline bench-wallclock experiments examples clean
+.PHONY: all build vet test race cover bench bench-baseline bench-wallclock chaos experiments examples clean
 
 all: build vet test
 
@@ -57,6 +57,16 @@ bench-wallclock:
 	$(GO) test -run '^$$' -bench=. -benchmem -count=$(BENCH_COUNT) \
 		./internal/sim ./internal/rpc ./internal/vm | tee bench-wallclock.txt
 
+# Crash-storm chaos suite (DESIGN.md §10) under the race detector: every
+# migration strategy in both batch modes survives a storm of host crashes
+# and instant reboots with all jobs completing and invariants green. Emits
+# RECOVERY_metrics.json — per-configuration recovery counters — plus the
+# recovery demo's full metrics snapshot for the CI artifact.
+chaos:
+	SPRITE_CHAOS_SNAPSHOT=$(CURDIR)/RECOVERY_metrics.json \
+		$(GO) test -race -run 'TestCrashStorm|TestCrashAnyHostAtAnyFailpoint|TestGoldenCrashScenarios' -v ./internal/recovery
+	$(GO) run ./cmd/spritesim -experiment E15 -recovery-snapshot RECOVERY_demo.json
+
 # Regenerate every reproduced table (see EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/spritesim -all
@@ -67,6 +77,7 @@ examples:
 	$(GO) run ./examples/eviction
 	$(GO) run ./examples/loadsharing
 	$(GO) run ./examples/ipc
+	$(GO) run ./examples/recovery
 
 clean:
 	$(GO) clean ./...

@@ -5,10 +5,16 @@
 //
 //	spritesim -list
 //	spritesim -experiment E5 [-seed 42] [-quick] [-metrics]
+//	spritesim -experiment E15 [-crash ws1@250ms+200ms] [-recovery-snapshot out.json]
 //	spritesim -all [-quick]
 //
 // -metrics appends every cluster's metrics snapshot (RPC traffic, cache
 // behaviour, migration phase timings) under the corresponding table.
+//
+// -crash schedules a host fault in the recovery experiment (E15):
+// host@at[+dur] crashes the host at `at` and restarts it `dur` later;
+// without +dur the host reboots instantly (state lost, epoch bumped).
+// Repeatable. -recovery-snapshot writes E15's final metrics as JSON.
 package main
 
 import (
@@ -17,7 +23,31 @@ import (
 	"os"
 
 	"sprite/internal/experiments"
+	"sprite/internal/recovery"
 )
+
+// crashFlags collects repeated -crash values.
+type crashFlags []recovery.CrashSpec
+
+func (c *crashFlags) String() string {
+	s := ""
+	for i, sp := range *c {
+		if i > 0 {
+			s += ","
+		}
+		s += sp.String()
+	}
+	return s
+}
+
+func (c *crashFlags) Set(v string) error {
+	sp, err := recovery.ParseCrashSpec(v)
+	if err != nil {
+		return err
+	}
+	*c = append(*c, sp)
+	return nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -35,11 +65,17 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 42, "simulation seed")
 		quick   = fs.Bool("quick", false, "smaller parameter sweeps")
 		metrics = fs.Bool("metrics", false, "append each cluster's metrics snapshot to the tables")
+		recSnap = fs.String("recovery-snapshot", "", "write the recovery experiment's (E15) metrics snapshot JSON to this file")
 	)
+	var crashes crashFlags
+	fs.Var(&crashes, "crash", "recovery-experiment fault: host@at[+dur], e.g. ws1@250ms+200ms (repeatable; no +dur = instant reboot)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Metrics: *metrics}
+	cfg := experiments.Config{
+		Seed: *seed, Quick: *quick, Metrics: *metrics,
+		Crashes: crashes, RecoverySnapshot: *recSnap,
+	}
 	switch {
 	case *list:
 		for _, r := range experiments.All() {

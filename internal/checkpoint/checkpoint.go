@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"sprite/internal/core"
 	"sprite/internal/fs"
@@ -80,6 +81,15 @@ func decodeHeader(buf []byte) (Header, error) {
 // not saved). It is called by the program itself at a point of its
 // choosing, as in Condor.
 func Save(ctx *core.Ctx, path string) (Header, error) {
+	return SaveFrom(ctx, path, 0)
+}
+
+// SaveFrom is Save with a progress base: the recorded CPUUsedNanos is base
+// plus the process's own compute time. A supervisor restarting jobs from
+// checkpoints passes the CPUUsedNanos it restored from, so progress stays
+// cumulative across incarnations even though each restarted process's own
+// CPU clock starts at zero.
+func SaveFrom(ctx *core.Ctx, path string, base time.Duration) (Header, error) {
 	p := ctx.Process()
 	space := p.Space()
 	if space == nil {
@@ -91,7 +101,7 @@ func Save(ctx *core.Ctx, path string) (Header, error) {
 		StackPages:    space.Stack.Pages(),
 		ResidentHeap:  space.Heap.ResidentCount(),
 		ResidentStack: space.Stack.ResidentCount(),
-		CPUUsedNanos:  int64(p.CPUUsed()),
+		CPUUsedNanos:  int64(base + p.CPUUsed()),
 	}
 	fd, err := ctx.Open(path, fs.WriteMode, fs.OpenOptions{Create: true, Truncate: true})
 	if err != nil {
@@ -114,6 +124,12 @@ func Save(ctx *core.Ctx, path string) (Header, error) {
 			return Header{}, err
 		}
 		payload -= n
+	}
+	// The image must survive the writer's own host crashing — that is its
+	// entire purpose — so it cannot sit in the client cache waiting for the
+	// delayed write-back. Flush it to the server before declaring success.
+	if err := ctx.Fsync(fd); err != nil {
+		return Header{}, err
 	}
 	if err := ctx.Close(fd); err != nil {
 		return Header{}, err

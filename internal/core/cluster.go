@@ -58,6 +58,18 @@ type Cluster struct {
 	// every started pid must exit (or be reported crashed) exactly once.
 	ledgerStarted map[PID]int
 	ledgerEnded   map[PID]int
+
+	// deferReap switches host crashes from the omniscient legacy semantics
+	// (every kernel reacts the instant the crash happens) to Sprite's real
+	// ones: surviving kernels keep running on stale state until a detector
+	// calls ReapDeadHost. See SetDeferredReap.
+	deferReap bool
+	// reapedEpochs records, per host, the highest boot epoch whose death has
+	// been reaped cluster-wide (ReapDeadHost idempotence + invariant checks).
+	reapedEpochs map[rpc.HostID]rpc.Epoch
+	// downAt records when each host last crashed, for detection-latency
+	// metrics in the recovery plane.
+	downAt map[rpc.HostID]time.Duration
 }
 
 // TraceFunc receives cluster events (migrations, evictions, process
@@ -109,6 +121,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 		kernels:       make(map[rpc.HostID]*Kernel),
 		ledgerStarted: make(map[PID]int),
 		ledgerEnded:   make(map[PID]int),
+		reapedEpochs:  make(map[rpc.HostID]rpc.Epoch),
+		downAt:        make(map[rpc.HostID]time.Duration),
 	}
 	for i := 0; i < opts.FileServers; i++ {
 		host := rpc.HostID(1 + i)

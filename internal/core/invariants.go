@@ -38,7 +38,47 @@ func (c *Cluster) CheckInvariants(endOfRun bool) []string {
 	out = append(out, c.checkTables(endOfRun)...)
 	out = append(out, c.checkStreamRefs()...)
 	out = append(out, c.checkMigrationMetrics()...)
+	out = append(out, c.checkRecovery()...)
 	out = append(out, c.fs.CheckInvariants(endOfRun)...)
+	return out
+}
+
+// checkRecovery verifies the crash-recovery matrix was applied completely
+// for every reaped boot epoch: no process of a reaped home incarnation may
+// still be running un-killed anywhere, and no surviving home may still hold
+// an unsettled record for a child that died on a reaped incarnation. (Both
+// conditions are epoch-guarded, so post-reboot processes are exempt.)
+func (c *Cluster) checkRecovery() []string {
+	var out []string
+	hosts := make([]rpc.HostID, 0, len(c.reapedEpochs))
+	for h := range c.reapedEpochs {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	for _, host := range hosts {
+		reaped := c.reapedEpochs[host]
+		for _, k := range c.workstations {
+			for _, p := range k.Processes() {
+				if p.cur != k || p.state == StateExited || p.killed || p.crashed {
+					continue
+				}
+				if p.home.host == host && p.homeEpoch <= reaped {
+					out = append(out, fmt.Sprintf("recovery: %v on %v survives reap of its home %v epoch %d",
+						p.pid, k.host, host, reaped))
+				}
+			}
+			if k.host == host {
+				continue
+			}
+			for _, rec := range k.homeRecords() {
+				p := rec.proc
+				if p.crashed && p.state == StateExited && p.cur != nil && p.cur.host == host && p.crashEpoch <= reaped {
+					out = append(out, fmt.Sprintf("recovery: home %v still holds unsettled record for %v, which died on reaped %v epoch %d",
+						k.host, p.pid, host, reaped))
+				}
+			}
+		}
+	}
 	return out
 }
 

@@ -207,6 +207,7 @@ func (k *Kernel) startProcess(env *sim.Env, name string, prog Program, cfg ProcC
 		exited:    sim.NewFuture(k.cluster.sim),
 		evictable: true,
 		created:   env.Now(),
+		homeEpoch: home.ep.Epoch(),
 	}
 	// Fork semantics: the child inherits the working directory and the
 	// signal dispositions...
@@ -329,11 +330,22 @@ func (p *Process) discardSpace(env *sim.Env) error {
 		path := st.Path
 		for st.RefsOn(c.Host()) > 0 {
 			if err := c.Close(env, st); err != nil {
+				if errors.Is(err, rpc.ErrHostDown) || errors.Is(err, rpc.ErrTimeout) {
+					// The I/O server is down. Sprite servers rebuild their
+					// open tables from the clients during recovery, so a ref
+					// dropped now is simply never re-registered: repair the
+					// shared tables directly and move on.
+					p.cur.cluster.fs.DropRef(st, c.Host())
+					continue
+				}
 				return err
 			}
 		}
 		if seg.Kind != vm.CodeSegment {
 			if err := c.Remove(env, path); err != nil {
+				if errors.Is(err, rpc.ErrHostDown) || errors.Is(err, rpc.ErrTimeout) {
+					continue // the server lost the swap file with its tables
+				}
 				return err
 			}
 		}
@@ -352,6 +364,13 @@ func (p *Process) exitCleanup(env *sim.Env) error {
 		}
 		p.files[fd] = nil
 		if err := k.fsc.Close(env, st); err != nil {
+			if errors.Is(err, rpc.ErrHostDown) || errors.Is(err, rpc.ErrTimeout) {
+				// The stream's I/O server is down; drop the ref directly (the
+				// server rebuilds open tables from surviving clients on
+				// recovery, so this ref just won't be re-registered).
+				k.cluster.fs.DropRef(st, k.host)
+				continue
+			}
 			return fmt.Errorf("proc %v: close fd %d: %w", p.pid, fd, err)
 		}
 	}

@@ -104,6 +104,14 @@ type Process struct {
 	home *Kernel // never changes: the transparency anchor
 	cur  *Kernel // changes on migration
 
+	// homeEpoch is the home host's boot epoch when the process started. The
+	// reaping pass uses it to tell this incarnation's processes from ones
+	// started after a reboot of the same address.
+	homeEpoch rpc.Epoch
+	// crashEpoch, for a crash-destroyed process, is the boot epoch of the
+	// host it died on (set by destroyProcess; guards late reaping).
+	crashEpoch rpc.Epoch
+
 	space *vm.AddressSpace
 	files []*fs.Stream // descriptor table; nil entries are closed fds
 
@@ -157,6 +165,13 @@ func (p *Process) Foreign() bool { return p.cur != p.home }
 
 // Migrations returns how many times the process has migrated.
 func (p *Process) Migrations() int { return p.migrations }
+
+// HomeEpoch returns the home host's boot epoch when the process started.
+func (p *Process) HomeEpoch() rpc.Epoch { return p.homeEpoch }
+
+// CrashEpoch returns, for a crash-destroyed process, the boot epoch of the
+// host it died on (0 otherwise).
+func (p *Process) CrashEpoch() rpc.Epoch { return p.crashEpoch }
 
 // Space returns the process's address space.
 func (p *Process) Space() *vm.AddressSpace { return p.space }

@@ -297,6 +297,21 @@ func (c *Ctx) Write(fd int, data []byte) (int, error) {
 	return c.proc.cur.fsc.Write(c.env, st, data)
 }
 
+// Fsync forces fd's dirty blocks through to its file server, overriding
+// the delayed write-back policy. Sprite programs that must survive a
+// client crash — checkpointers above all — pay the synchronous server
+// traffic for durability, exactly the trade delayed writes otherwise hide.
+func (c *Ctx) Fsync(fd int) error {
+	if err := c.enter("fsync"); err != nil {
+		return err
+	}
+	st, err := c.proc.stream(fd)
+	if err != nil {
+		return err
+	}
+	return c.proc.cur.fsc.FlushFile(c.env, st.FID)
+}
+
 // Seek sets fd's access position.
 func (c *Ctx) Seek(fd int, off int64) error {
 	if err := c.enter("lseek"); err != nil {

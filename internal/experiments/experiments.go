@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"sprite/internal/core"
+	"sprite/internal/metrics"
+	"sprite/internal/recovery"
 )
 
 // Config controls an experiment run.
@@ -23,6 +25,12 @@ type Config struct {
 	// (rendered after the notes). Off by default, so standard outputs are
 	// byte-identical with or without the metrics plane.
 	Metrics bool
+	// Crashes overrides the recovery experiment's (E15) default fault
+	// schedule; parsed from repeated spritesim -crash flags.
+	Crashes []recovery.CrashSpec
+	// RecoverySnapshot, when non-empty, makes E15 write its final metrics
+	// snapshot to this file as JSON.
+	RecoverySnapshot string
 }
 
 // Table is one reproduced table or figure, as labeled rows.
@@ -55,9 +63,18 @@ func (t *Table) CaptureMetrics(cfg Config, label string, c *core.Cluster) {
 	if !cfg.Metrics {
 		return
 	}
+	t.CaptureSnapshot(cfg, label, c.MetricsSnapshot())
+}
+
+// CaptureSnapshot is CaptureMetrics for drivers that only hold a snapshot
+// (the cluster itself already torn down or owned by another package).
+func (t *Table) CaptureSnapshot(cfg Config, label string, snap metrics.Snapshot) {
+	if !cfg.Metrics {
+		return
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "metrics %s [%s]:\n", t.ID, label)
-	text := strings.TrimRight(c.MetricsSnapshot().Text(), "\n")
+	text := strings.TrimRight(snap.Text(), "\n")
 	for _, line := range strings.Split(text, "\n") {
 		b.WriteString("  ")
 		b.WriteString(line)
@@ -140,6 +157,7 @@ func All() []Runner {
 		{ID: "E12", Name: "syscall handling census", Run: E12SyscallTable},
 		{ID: "E13", Name: "remote execution penalty", Run: E13RemotePenalty},
 		{ID: "E14", Name: "a day of load sharing", Run: E14DayInTheLife},
+		{ID: "E15", Name: "crash recovery and failover", Run: E15CrashRecovery},
 	}
 }
 

@@ -159,6 +159,25 @@ func (p *Plane) RestartHost(env *sim.Env, host rpc.HostID) {
 	p.cluster.RestartHost(env, host)
 }
 
+// RebootHost crash-restarts a host in one step: the old incarnation's state
+// is lost but the machine answers pings again immediately, under a bumped
+// epoch. Detection has no down-time window to observe — only the epoch.
+func (p *Plane) RebootHost(env *sim.Env, host rpc.HostID) {
+	p.cluster.Reboot(env, host)
+}
+
+// ScheduleReboot spawns an activity that reboots host at `at`.
+// Call before the cluster runs.
+func (p *Plane) ScheduleReboot(host rpc.HostID, at time.Duration) {
+	p.cluster.Boot(fmt.Sprintf("fault-reboot-%v", host), func(env *sim.Env) error {
+		if err := env.Sleep(at); err != nil {
+			return err
+		}
+		p.RebootHost(env, host)
+		return nil
+	})
+}
+
 // ScheduleCrash spawns an activity that crashes host at `at` and, when dur >
 // 0, restarts it dur later. Call before the cluster runs.
 func (p *Plane) ScheduleCrash(host rpc.HostID, at, dur time.Duration) {

@@ -30,6 +30,7 @@ const (
 	KindDelay                 // probabilistic message latency window
 	KindPartition             // isolate one workstation for a window
 	KindMigFail               // arm a migration failpoint for a window
+	KindReboot                // instantaneous crash-restart: state lost, epoch bumped
 )
 
 func (k Kind) String() string {
@@ -44,6 +45,8 @@ func (k Kind) String() string {
 		return "partition"
 	case KindMigFail:
 		return "mig-fail"
+	case KindReboot:
+		return "reboot"
 	default:
 		return "?"
 	}
@@ -94,7 +97,7 @@ func GenScenario(seed int64) Scenario {
 	crashed := make(map[int]bool)
 	for i := 0; i < n; i++ {
 		e := Event{
-			Kind: Kind(rng.Intn(5)),
+			Kind: Kind(rng.Intn(6)),
 			Host: rng.Intn(sc.Workstations),
 			At:   time.Duration(50+rng.Intn(1500)) * time.Millisecond,
 			Dur:  time.Duration(200+rng.Intn(1000)) * time.Millisecond,
@@ -112,6 +115,14 @@ func GenScenario(seed int64) Scenario {
 			}
 		case KindMigFail:
 			e.Point = migPoints[rng.Intn(len(migPoints))]
+		case KindReboot:
+			// Reboots share the one-fault-per-host budget with crashes so the
+			// epoch timeline of any host stays a single, unambiguous step.
+			if crashed[e.Host] {
+				continue
+			}
+			crashed[e.Host] = true
+			e.Dur = 0 // instantaneous: the host is back before the next event
 		}
 		sc.Events = append(sc.Events, e)
 	}
@@ -225,6 +236,8 @@ func RunScenario(sc Scenario) *Result {
 			plane.Partition(e.At, e.At+e.Dur, host)
 		case KindMigFail:
 			plane.FailMigration(e.Point, core.PID{}, e.At, e.At+e.Dur, e.Prob, -1)
+		case KindReboot:
+			plane.ScheduleReboot(host, e.At)
 		}
 	}
 

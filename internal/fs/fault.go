@@ -88,6 +88,23 @@ func (f *FS) ScrubHost(host rpc.HostID) {
 	}
 }
 
+// ScrubHostEpoch runs ScrubHost for one boot incarnation of host exactly
+// once: the crash injector scrubs eagerly when the host dies (servers run
+// recovery as soon as the RPC channel breaks, as in Sprite), and the
+// recovery plane's reaping pass calls it again on detection — the epoch
+// guard makes the second call a no-op instead of a double scrub. A later
+// incarnation's crash (higher epoch) scrubs again.
+func (f *FS) ScrubHostEpoch(host rpc.HostID, epoch rpc.Epoch) {
+	if f.scrubbed == nil {
+		f.scrubbed = make(map[rpc.HostID]rpc.Epoch)
+	}
+	if f.scrubbed[host] >= epoch {
+		return
+	}
+	f.scrubbed[host] = epoch
+	f.ScrubHost(host)
+}
+
 // RecoverStream repairs a stream whose reference was stranded on a crashed
 // host mid-migration: the client-side references move from -> to, and the
 // owning server's open table is adjusted to match, directly and without

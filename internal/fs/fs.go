@@ -136,6 +136,11 @@ type FS struct {
 	clients   map[rpc.HostID]*Client
 	streamSeq StreamID
 
+	// scrubbed records the highest boot epoch per host for which crash
+	// recovery (ScrubHost) has already run, making ScrubHostEpoch idempotent
+	// when both the crash injector and a later reaping pass request it.
+	scrubbed map[rpc.HostID]rpc.Epoch
+
 	// m holds the optional metrics plane's cached counters, shared by every
 	// client so cluster-wide cache behaviour reads as one set of series.
 	m *fsCounters

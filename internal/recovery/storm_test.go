@@ -1,0 +1,142 @@
+package recovery
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/fault"
+	"sprite/internal/sim"
+)
+
+// stormSummary is the per-configuration slice of the metrics snapshot that
+// the chaos CI job uploads as its artifact (see `make chaos`).
+type stormSummary struct {
+	Strategy    string `json:"strategy"`
+	Batched     bool   `json:"batched"`
+	HostDown    int64  `json:"host_down"`
+	HostUp      int64  `json:"host_up"`
+	Restarts    int64  `json:"restarts"`
+	Checkpoints int64  `json:"checkpoints"`
+	Recovered   int64  `json:"cpu_recovered_ns"`
+	Completed   int64  `json:"jobs_completed"`
+}
+
+// stormRun drives one crash storm: a deferred-reap cluster under a monitor
+// and supervisor, three checkpointed jobs, and a staggered schedule of
+// crash+restart and instant-reboot faults across every host the jobs can
+// land on. The home workstation stays up so "no job may be lost" is an
+// unconditional assertion.
+func stormRun(t *testing.T, strategy core.TransferStrategy, batched bool) stormSummary {
+	t.Helper()
+	params := core.DefaultParams()
+	params.Batch.Enabled = batched
+	c, err := core.NewCluster(core.Options{Workstations: 4, FileServers: 1, Seed: 17, Params: &params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetStrategyAll(strategy)
+	c.SetDeferredReap(true)
+	if err := c.SeedBinary("/bin/job", 128<<10); err != nil {
+		t.Fatal(err)
+	}
+
+	mon := NewMonitor(c, Params{Interval: 10 * time.Millisecond, FailThreshold: 2, Reap: true})
+	sup := NewSupervisor(c, mon, SupervisorParams{
+		MaxRestarts:     6,
+		CheckpointEvery: 15 * time.Millisecond,
+		Dir:             "/ckpt",
+	})
+	mon.Start()
+
+	// The storm: every non-home workstation dies once. Workstation 1 (the
+	// supervisor's first target pick) crashes after the jobs have checkpointed
+	// there and stays down long enough for timeout detection; workstation 2 —
+	// where the restarted jobs land — reboots instantly under their feet
+	// (epoch-only detection, second kill); workstation 3 crashes while those
+	// second recoveries are still in flight.
+	plane := fault.NewPlane(c, 17)
+	plane.ScheduleCrash(c.Workstation(1).Host(), 280*time.Millisecond, 250*time.Millisecond)
+	plane.ScheduleReboot(c.Workstation(2).Host(), 430*time.Millisecond)
+	plane.ScheduleCrash(c.Workstation(3).Host(), 500*time.Millisecond, 150*time.Millisecond)
+
+	cfg := core.ProcConfig{Binary: "/bin/job", CodePages: 16, HeapPages: 32, StackPages: 4}
+	c.Boot("storm-driver", func(env *sim.Env) error {
+		for _, name := range []string{"stormA", "stormB", "stormC"} {
+			if _, err := sup.Submit(env, name, cfg, ComputeJob(200*time.Millisecond, 20*time.Millisecond)); err != nil {
+				return err
+			}
+		}
+		if err := sup.Wait(env); err != nil {
+			return err
+		}
+		mon.Stop()
+		sup.Stop()
+		return nil
+	})
+	if err := c.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	if lost := sup.Lost(); len(lost) != 0 {
+		t.Errorf("lost jobs: %v", lost)
+	}
+	if v := c.CheckInvariants(true); len(v) != 0 {
+		t.Errorf("invariants violated: %v", v)
+	}
+	snap := c.MetricsSnapshot()
+	if snap.Counters["recovery.host_down"] == 0 {
+		t.Error("storm produced no detected crashes — schedule is not exercising recovery")
+	}
+	if snap.Counters["recovery.cpu_recovered_ns"] == 0 {
+		t.Error("no checkpointed progress was recovered — restarts all began from scratch")
+	}
+	return stormSummary{
+		Strategy:    strategy.Name(),
+		Batched:     batched,
+		HostDown:    snap.Counters["recovery.host_down"],
+		HostUp:      snap.Counters["recovery.host_up"],
+		Restarts:    snap.Counters["recovery.restarts"],
+		Checkpoints: snap.Counters["recovery.checkpoints"],
+		Recovered:   snap.Counters["recovery.cpu_recovered_ns"],
+		Completed:   snap.Counters["recovery.jobs.completed"],
+	}
+}
+
+// TestCrashStorm is the chaos suite behind `make chaos`: the full crash
+// storm under every migration strategy in both batch modes. When
+// SPRITE_CHAOS_SNAPSHOT names a file, the per-configuration recovery
+// metrics are written there as JSON for the CI artifact.
+func TestCrashStorm(t *testing.T) {
+	strategies := []core.TransferStrategy{
+		core.SpriteFlushStrategy{},
+		core.FullCopyStrategy{},
+		core.CopyOnReferenceStrategy{},
+		core.PreCopyStrategy{RedirtyPagesPerSec: 100},
+	}
+	var summaries []stormSummary
+	for _, s := range strategies {
+		for _, batched := range []bool{false, true} {
+			s, batched := s, batched
+			mode := "legacy"
+			if batched {
+				mode = "batched"
+			}
+			t.Run(s.Name()+"/"+mode, func(t *testing.T) {
+				summaries = append(summaries, stormRun(t, s, batched))
+			})
+		}
+	}
+	if path := os.Getenv("SPRITE_CHAOS_SNAPSHOT"); path != "" && !t.Failed() {
+		data, err := json.MarshalIndent(summaries, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote chaos metrics snapshot to %s", path)
+	}
+}

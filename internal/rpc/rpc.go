@@ -29,6 +29,19 @@ func (h HostID) String() string { return fmt.Sprintf("host%d", int(h)) }
 // NoHost is the zero HostID; valid hosts are numbered from 1.
 const NoHost HostID = 0
 
+// Epoch is a host's boot incarnation number. It starts at 1 when the host
+// first registers and increases by one on every restart, so a host that
+// crashes and comes back at the same address is distinguishable from one
+// that never went down — the recovery plane's reboot detector keys on it.
+type Epoch uint64
+
+// EpochObserver is notified with the replying host's current epoch every
+// time a call to that host completes (success or handler error — the reply
+// made it back either way). Replies piggyback the epoch the way Sprite RPC
+// piggybacks the boot timestamp; a passive observer therefore learns about
+// reboots from ordinary traffic without waiting for the next heartbeat.
+type EpochObserver func(host HostID, epoch Epoch)
+
 // Errors reported by the transport.
 var (
 	// ErrHostDown is returned when calling a host marked down.
@@ -129,6 +142,7 @@ type Transport struct {
 	endpoints map[HostID]*Endpoint
 	stats     map[string]*CallStats
 	injector  Injector
+	observer  EpochObserver
 	retries   uint64
 	timeouts  uint64
 
@@ -199,6 +213,12 @@ func (t *Transport) hostCounters(to HostID) *hostCounters {
 // bit-identical.
 func (t *Transport) SetInjector(inj Injector) { t.injector = inj }
 
+// SetEpochObserver installs (or, with nil, removes) the callback invoked
+// with the server's boot epoch whenever a remote call's reply arrives.
+// Observers must be pure bookkeeping: they run inside the calling activity
+// and may not sleep, block, or issue further calls.
+func (t *Transport) SetEpochObserver(obs EpochObserver) { t.observer = obs }
+
 // Retries returns the number of retransmissions performed so far.
 func (t *Transport) Retries() uint64 { return t.retries }
 
@@ -221,7 +241,7 @@ func (t *Transport) Register(host HostID) *Endpoint {
 	if ep, ok := t.endpoints[host]; ok {
 		return ep
 	}
-	ep := &Endpoint{host: host, transport: t, services: make(map[string]Handler)}
+	ep := &Endpoint{host: host, transport: t, services: make(map[string]Handler), epoch: 1}
 	t.endpoints[host] = ep
 	return ep
 }
@@ -291,6 +311,7 @@ type Endpoint struct {
 	transport *Transport
 	services  map[string]Handler
 	down      bool
+	epoch     Epoch
 }
 
 // Host returns the endpoint's host id.
@@ -305,6 +326,18 @@ func (e *Endpoint) SetDown(down bool) { e.down = down }
 
 // Down reports whether the host is marked unreachable.
 func (e *Endpoint) Down() bool { return e.down }
+
+// Epoch returns the host's current boot incarnation.
+func (e *Endpoint) Epoch() Epoch { return e.epoch }
+
+// Restart brings the host back up under a new boot epoch. It is the
+// transport-level half of a reboot: the address and service table survive,
+// but every reply now advertises the new incarnation so peers can tell the
+// host lost its volatile state.
+func (e *Endpoint) Restart() {
+	e.down = false
+	e.epoch++
+}
 
 // Call performs a synchronous RPC from this endpoint's host to the named
 // service on host `to`. argSize and the handler's replySize are charged to
@@ -405,6 +438,9 @@ func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSiz
 			return nil, nerr
 		}
 		t.record(to, service, argSize+replySize, herr != nil)
+		if t.observer != nil {
+			t.observer(to, target.epoch)
+		}
 		return reply, herr
 	}
 }
@@ -486,6 +522,9 @@ func (e *Endpoint) Broadcast(env *sim.Env, service string, arg any, argSize int)
 			return nil, nerr
 		}
 		t.record(id, service+".bcast", argSize+replySize, false)
+		if t.observer != nil {
+			t.observer(id, target.epoch)
+		}
 		replies[id] = reply
 	}
 	return replies, nil
