@@ -2,15 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-baseline bench-wallclock chaos experiments examples clean
+.PHONY: all build vet lint test race cover bench bench-baseline bench-wallclock chaos experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# spritelint (DESIGN.md §11): the project's own go/analysis-style suite —
+# walltime, globalrand, maporder, failpointreg, metricname — run over the
+# whole tree. Built once into bin/ so repeated runs reuse the build cache;
+# the whole-tree pattern also enables the dead-failpoint audit.
+lint:
+	$(GO) build -o bin/spritelint ./cmd/spritelint
+	./bin/spritelint ./...
 
 test:
 	$(GO) test ./...

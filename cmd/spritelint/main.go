@@ -1,0 +1,147 @@
+// Command spritelint is the project's multichecker: it runs the
+// internal/analysis suite — walltime, globalrand, maporder, failpointreg,
+// metricname — over the requested packages and fails (exit 1) on any
+// violation. The analyzers statically enforce the contracts everything
+// else in this repo only promises: byte-identical goldens, seed-replayable
+// fuzzing, the exact virtual-time regression gate, and a failpoint/metric
+// namespace shared by code, tests, and DESIGN.md §11.
+//
+// Usage:
+//
+//	spritelint [flags] [packages]
+//
+// With no packages, ./... is linted. After a whole-tree run (a ./...
+// pattern) the driver additionally cross-checks the failpoint registry for
+// dead entries — registered names no code references.
+//
+//	-list              print the analyzers and exit
+//	-audit-failpoints  print every constant failpoint name found at a
+//	                   fault-plane call site (the registry audit) and exit
+//	-deadcheck         enable the dead-registry-entry check (default true;
+//	                   effective only with a ./... pattern)
+//	-debug             print per-package load/type-check diagnostics
+//
+// Violations are suppressed line by line with
+//
+//	//spritelint:allow <analyzer>[,<analyzer>] <rationale>
+//
+// per the policy in DESIGN.md §11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sprite/internal/analysis/failpointreg"
+	"sprite/internal/analysis/globalrand"
+	"sprite/internal/analysis/lint"
+	"sprite/internal/analysis/load"
+	"sprite/internal/analysis/maporder"
+	"sprite/internal/analysis/metricname"
+	"sprite/internal/analysis/walltime"
+)
+
+var analyzers = []*lint.Analyzer{
+	walltime.Analyzer,
+	globalrand.Analyzer,
+	maporder.Analyzer,
+	failpointreg.Analyzer,
+	metricname.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	audit := flag.Bool("audit-failpoints", false, "print every constant failpoint name at a fault-plane call site and exit")
+	deadcheck := flag.Bool("deadcheck", true, "flag registered failpoints no analyzed code references (whole-tree runs only)")
+	debug := flag.Bool("debug", false, "print per-package load/type-check diagnostics")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wholeTree := false
+	for _, p := range patterns {
+		if p == "./..." || p == "all" {
+			wholeTree = true
+		}
+	}
+
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spritelint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "spritelint: no packages matched")
+		os.Exit(2)
+	}
+
+	var all []lint.Diagnostic
+	var sites []failpointreg.SiteRef
+	for _, pkg := range pkgs {
+		if *debug {
+			fmt.Fprintf(os.Stderr, "spritelint: %s: %d files, %d type errors\n",
+				pkg.ImportPath, len(pkg.Files), len(pkg.TypeErrors))
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "spritelint:   type error: %v\n", e)
+			}
+		}
+		supp := lint.NewSuppressor(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			diags, res, err := lint.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spritelint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
+				os.Exit(2)
+			}
+			all = append(all, supp.Filter(diags)...)
+			if refs, ok := res.([]failpointreg.SiteRef); ok {
+				sites = append(sites, refs...)
+			}
+		}
+	}
+
+	if *audit {
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].Name != sites[j].Name {
+				return sites[i].Name < sites[j].Name
+			}
+			return sites[i].Pos.String() < sites[j].Pos.String()
+		})
+		for _, s := range sites {
+			status := "registered"
+			if !s.Registered {
+				status = "UNREGISTERED"
+			}
+			fmt.Printf("%-20s %-13s %s\n", s.Name, status, s.Pos)
+		}
+		return
+	}
+
+	for _, d := range all {
+		fmt.Println(d)
+	}
+	exit := 0
+	if len(all) > 0 {
+		exit = 1
+	}
+	if *deadcheck && wholeTree {
+		for _, name := range failpointreg.DeadEntries(sites) {
+			fmt.Printf("internal/fault/failpoints.go: registered failpoint %q has no remaining call site; delete the entry or restore the site (failpointreg)\n", name)
+			exit = 1
+		}
+	}
+	if exit == 0 {
+		fmt.Printf("spritelint: %d packages clean under %d analyzers\n", len(pkgs), len(analyzers))
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,105 @@
+// Package failpointreg cross-checks failpoint names against the registry
+// in internal/fault/failpoints.go. Failpoint names are stringly-typed
+// contracts shared by the kernel's injection sites, the fault plane's
+// arming calls, the fuzzer's fault-kind pool, the chaos tests, and
+// DESIGN.md; a typo ("mig.steams") silently arms a point nothing ever
+// consults. The analyzer flags every constant failpoint name that is not
+// in the registry, and the spritelint driver aggregates the names each
+// package did use to flag dead registry entries after a whole-tree run.
+//
+// Non-constant names (the fuzzer draws its point from the registry slice
+// at run time) are out of static reach and are deliberately not flagged —
+// the registry-derived pool is the endorsed way to build one.
+package failpointreg
+
+import (
+	"go/ast"
+	"go/token"
+
+	"sprite/internal/analysis/lint"
+	"sprite/internal/fault"
+)
+
+// site describes one API whose call carries a failpoint name.
+type site struct {
+	pkg, typ, method string
+	arg              int // index of the name argument
+}
+
+// sites are the fault-plane entry points audited for this registry.
+var sites = []site{
+	{pkg: "sprite/internal/core", typ: "Cluster", method: "FailAt", arg: 1},
+	{pkg: "sprite/internal/core", typ: "Cluster", method: "failAt", arg: 1},
+	{pkg: "sprite/internal/fault", typ: "Plane", method: "FailMigration", arg: 0},
+}
+
+// SiteRef is one constant failpoint name observed at a fault-plane call.
+type SiteRef struct {
+	Name       string
+	Pos        token.Position
+	Registered bool
+}
+
+// Analyzer is the failpointreg check. Its per-package result is a
+// []SiteRef of every constant failpoint name observed; the driver
+// aggregates these for the dead-entry pass and the -audit-failpoints
+// listing.
+var Analyzer = &lint.Analyzer{
+	Name: "failpointreg",
+	Doc:  "failpoint names passed to the fault plane must be registered in internal/fault/failpoints.go",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) (any, error) {
+	var refs []SiteRef
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.FuncObjOf(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			for _, s := range sites {
+				if !lint.IsMethod(fn, s.pkg, s.typ, s.method) || len(call.Args) <= s.arg {
+					continue
+				}
+				name, ok := lint.ConstString(pass.TypesInfo, call.Args[s.arg])
+				if !ok {
+					continue // dynamic: registry-derived by construction
+				}
+				ref := SiteRef{
+					Name:       name,
+					Pos:        pass.Fset.Position(call.Args[s.arg].Pos()),
+					Registered: fault.RegisteredFailpoint(name),
+				}
+				refs = append(refs, ref)
+				if !ref.Registered {
+					pass.Reportf(call.Args[s.arg].Pos(),
+						"failpoint %q is not in the registry (internal/fault/failpoints.go); register it or fix the name", name)
+				}
+			}
+			return true
+		})
+	}
+	return refs, nil
+}
+
+// DeadEntries returns the registered failpoints none of the analyzed
+// packages referenced. Meaningful only after a whole-tree run; the driver
+// gates it on the ./... pattern.
+func DeadEntries(refs []SiteRef) []string {
+	seen := make(map[string]bool, len(refs))
+	for _, r := range refs {
+		seen[r.Name] = true
+	}
+	var dead []string
+	for _, fp := range fault.Failpoints {
+		if !seen[fp.Name] {
+			dead = append(dead, fp.Name)
+		}
+	}
+	return dead
+}

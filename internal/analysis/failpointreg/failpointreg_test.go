@@ -1,0 +1,45 @@
+package failpointreg_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sprite/internal/analysis/failpointreg"
+	"sprite/internal/analysis/linttest"
+)
+
+func TestFailpointreg(t *testing.T) {
+	res := linttest.Run(t, failpointreg.Analyzer, "a")
+	refs, ok := res.([]failpointreg.SiteRef)
+	if !ok {
+		t.Fatalf("analyzer result is %T, want []failpointreg.SiteRef", res)
+	}
+
+	type obs struct {
+		name       string
+		registered bool
+	}
+	var got []obs
+	for _, r := range refs {
+		got = append(got, obs{r.Name, r.Registered})
+	}
+	// Sites appear in source order; suppression silences the diagnostic but
+	// the reference is still observed (it counts for the dead-entry audit).
+	want := []obs{
+		{"mig.init", true},
+		{"mig.vm", true},
+		{"mig.bogus", false},
+		{"recovery.ping", true},
+		{"mig.steams", false},
+		{"mig.experimental", false},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("observed sites = %v, want %v", got, want)
+	}
+
+	dead := failpointreg.DeadEntries(refs)
+	wantDead := []string{"mig.streams", "mig.pcb", "recovery.restart"}
+	if !reflect.DeepEqual(dead, wantDead) {
+		t.Errorf("DeadEntries = %v, want %v", dead, wantDead)
+	}
+}

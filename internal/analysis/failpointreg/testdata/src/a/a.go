@@ -1,0 +1,22 @@
+// Fixture for the failpointreg analyzer: constant failpoint names must be
+// in the registry (internal/fault/failpoints.go); dynamic names are
+// registry-derived by construction and pass.
+package a
+
+import (
+	"sprite/internal/core"
+	"sprite/internal/fault"
+)
+
+func arm(c *core.Cluster, p *fault.Plane, dynamic string) {
+	_ = c.FailAt(nil, "mig.init", 1)
+	_ = c.FailAt(nil, "mig.vm", 2)
+	_ = c.FailAt(nil, "mig.bogus", 3) // want `failpoint "mig\.bogus" is not in the registry`
+	p.FailMigration("recovery.ping")
+	p.FailMigration("mig.steams") // want `failpoint "mig\.steams" is not in the registry`
+	p.FailMigration(dynamic)      // dynamic: drawn from the registry at run time
+}
+
+func suppressed(c *core.Cluster) {
+	_ = c.FailAt(nil, "mig.experimental", 4) //spritelint:allow failpointreg fixture exercises the escape hatch
+}

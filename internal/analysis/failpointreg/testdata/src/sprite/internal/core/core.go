@@ -1,0 +1,10 @@
+// Stub of sprite/internal/core for the failpointreg fixture: only the
+// fault-plane entry point's receiver type and name-argument position must
+// match the real package.
+package core
+
+type PID int
+
+type Cluster struct{}
+
+func (c *Cluster) FailAt(env any, name string, pid PID) error { return nil }

@@ -1,0 +1,6 @@
+// Stub of sprite/internal/fault's Plane for the failpointreg fixture.
+package fault
+
+type Plane struct{}
+
+func (p *Plane) FailMigration(point string, rest ...any) {}

@@ -1,0 +1,58 @@
+// Package globalrand forbids math/rand's package-level functions. The
+// global source is seeded once per process and shared by everything, so a
+// single rand.Intn() in the workload generator or an experiment would make
+// scenario replay depend on call interleaving across the whole binary.
+// Every stream of randomness must instead flow from a *rand.Rand built
+// with rand.New(rand.NewSource(seed)) — the constructors stay allowed —
+// so a scenario is a pure function of its seed.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sprite/internal/analysis/lint"
+)
+
+// allowed are the math/rand package-level functions that construct or feed
+// an explicit source rather than consuming the global one.
+var allowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// randPkgs are the package paths covered. math/rand/v2 is included: it has
+// no Seed at all, so its top-level functions are unreplayable by design.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Analyzer is the globalrand check.
+var Analyzer = &lint.Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid package-level math/rand functions; randomness must flow from a seeded *rand.Rand so runs replay",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] || allowed[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand etc. are the endorsed path
+			}
+			pass.Reportf(id.Pos(), "global %s.%s: draw from a seeded *rand.Rand (rand.New(rand.NewSource(seed))) so the run replays", fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"sprite/internal/analysis/globalrand"
+	"sprite/internal/analysis/linttest"
+)
+
+func TestGlobalrand(t *testing.T) {
+	linttest.Run(t, globalrand.Analyzer, "a")
+}

@@ -1,0 +1,245 @@
+// Package lint is the spritelint analyzer framework: a deliberately small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// surface this repo needs. The container building this repo has no module
+// proxy, so the real x/tools framework is unavailable; the subset here —
+// an Analyzer with a Run func over a type-checked package, positional
+// diagnostics, and a comment-driven suppression mechanism — is
+// API-compatible enough that migrating to the upstream framework later is a
+// mechanical change.
+//
+// The project contracts the analyzers enforce are documented in DESIGN.md
+// §11 ("Static contracts").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single type-checked package
+// and reports violations through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//spritelint:allow <name>" suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc string
+	// Run performs the check. It may return an analyzer-specific result
+	// (e.g. failpointreg returns the set of registered names it saw) that
+	// the driver aggregates across packages.
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's syntax, including in-package _test.go files
+	// when the driver loaded the test variant.
+	Files []*ast.File
+	// Pkg is the type-checked package (path() is the import path the
+	// analyzers match against, e.g. "sprite/internal/core").
+	Pkg *types.Package
+	// TypesInfo resolves identifiers, selections, and expression types.
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FileFor returns the *ast.File containing pos, or nil.
+func (p *Pass) FileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Filename returns the base name of the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}
+
+// Run applies one analyzer to one package and returns its diagnostics
+// (suppressions not yet applied — see Suppressor) plus the analyzer's
+// aggregate result.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, any, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		diags:     &diags,
+	}
+	res, err := a.Run(pass)
+	return diags, res, err
+}
+
+// AllowPrefix introduces a suppression comment. A comment of the form
+//
+//	//spritelint:allow walltime[,maporder] [rationale...]
+//
+// suppresses the named analyzers' diagnostics on the comment's own line and
+// on the line immediately below it (so both end-of-line and
+// standalone-line-above placement work). Suppressions are deliberate,
+// visible, and greppable — the policy in DESIGN.md §11 requires a rationale
+// after the analyzer list.
+const AllowPrefix = "//spritelint:allow"
+
+// Suppressor decides whether a diagnostic is silenced by an allow comment.
+type Suppressor struct {
+	// file -> line -> analyzer names allowed on that line.
+	allowed map[string]map[int]map[string]bool
+}
+
+// NewSuppressor scans the files' comments for allow directives.
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	s := &Suppressor{allowed: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, AllowPrefix)
+				if !ok {
+					continue
+				}
+				names, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				pos := fset.Position(c.Pos())
+				byLine := s.allowed[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					s.allowed[pos.Filename] = byLine
+				}
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if byLine[line] == nil {
+							byLine[line] = make(map[string]bool)
+						}
+						byLine[line][name] = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether d is silenced by an allow comment.
+func (s *Suppressor) Suppressed(d Diagnostic) bool {
+	byLine := s.allowed[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	names := byLine[d.Pos.Line]
+	return names != nil && (names[d.Analyzer] || names["all"])
+}
+
+// Filter drops suppressed diagnostics and sorts the rest by position.
+func (s *Suppressor) Filter(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if !s.Suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// FuncObjOf resolves a call expression's callee to its *types.Func (methods
+// and package-level functions; nil for builtins, conversions, and func
+// values).
+func FuncObjOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether obj is the package-level function (or method —
+// recvName "" matches only package-level) path.name.
+func IsPkgFunc(fn *types.Func, path, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == path && fn.Name() == name &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// IsMethod reports whether fn is a method named name whose receiver's named
+// type (after pointer indirection) is path.typeName.
+func IsMethod(fn *types.Func, path, typeName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == typeName
+}
+
+// ConstString returns the compile-time string value of e, if it has one.
+func ConstString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

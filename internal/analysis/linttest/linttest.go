@@ -1,0 +1,242 @@
+// Package linttest is the fixture harness for spritelint analyzers — a
+// stdlib-only stand-in for golang.org/x/tools/go/analysis/analysistest
+// (unavailable offline). A fixture lives in the analyzer's
+// testdata/src/<pkg>/ directory and annotates the lines it expects
+// diagnostics on:
+//
+//	rand.Intn(4) // want `global rand\.Intn`
+//
+// Each `// want` comment holds one or more quoted regular expressions, one
+// per expected diagnostic on that line, in column order; a line with no
+// want comment must produce no diagnostics. Imports resolve first against
+// sibling stub packages under testdata/src (so fixtures can fake
+// sprite/internal/core and friends), then against real packages via `go
+// list -export` run at the module root. Suppression comments
+// (//spritelint:allow) are honored, so fixtures exercise the escape hatch
+// by pairing an allow comment with the absence of a want.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sprite/internal/analysis/lint"
+	"sprite/internal/analysis/load"
+)
+
+// Run loads testdata/src/<pkgname> (relative to the test's working
+// directory), applies the analyzer, and compares the surviving diagnostics
+// against the fixture's want annotations. It returns the analyzer's result
+// value for checks beyond diagnostics (e.g. failpointreg's site list).
+func Run(t *testing.T, a *lint.Analyzer, pkgname string) any {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(srcRoot, pkgname)
+
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", dir, err)
+	}
+
+	srcDirs, external, err := resolveImports(fset, srcRoot, files)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	exports, err := load.ExportData(moduleRoot(t), external)
+	if err != nil {
+		t.Fatalf("export data for fixture imports: %v", err)
+	}
+	imp := load.NewImporter(fset, exports, srcDirs)
+
+	var terrs []error
+	tpkg, info := load.Check(fset, pkgname, files, imp, &terrs)
+	for _, e := range terrs {
+		t.Errorf("fixture type error: %v", e)
+	}
+
+	diags, result, err := lint.Run(a, fset, files, tpkg, info)
+	if err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	diags = lint.NewSuppressor(fset, files).Filter(diags)
+	compare(t, fset, files, diags)
+	return result
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, de.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return files, nil
+}
+
+// resolveImports walks the fixture's import graph: paths with a directory
+// under srcRoot become source stubs (recursively), everything else is
+// external and needs export data.
+func resolveImports(fset *token.FileSet, srcRoot string, files []*ast.File) (srcDirs map[string]string, external []string, err error) {
+	srcDirs = make(map[string]string)
+	seen := make(map[string]bool)
+	queue := files
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			stubDir := filepath.Join(srcRoot, filepath.FromSlash(path))
+			if st, err := os.Stat(stubDir); err == nil && st.IsDir() {
+				srcDirs[path] = stubDir
+				stubFiles, err := parseDir(fset, stubDir)
+				if err != nil {
+					return nil, nil, fmt.Errorf("stub %s: %w", path, err)
+				}
+				queue = append(queue, stubFiles...)
+			} else {
+				external = append(external, path)
+			}
+		}
+	}
+	sort.Strings(external)
+	return srcDirs, external, nil
+}
+
+// moduleRoot finds the enclosing go.mod directory, where `go list` must
+// run for stdlib export data.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// wantRE extracts the quoted regexps of a want comment: double-quoted
+// (Go-unquoted) or backquoted chunks after "want".
+var wantChunkRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	res []*regexp.Regexp
+}
+
+func compare(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := make(map[string]map[int]*expectation) // file -> line -> wants
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				exp := &expectation{}
+				for _, chunk := range wantChunkRE.FindAllString(rest, -1) {
+					pattern := chunk
+					if pattern[0] == '"' {
+						unq, err := strconv.Unquote(pattern)
+						if err != nil {
+							t.Errorf("%s: bad want pattern %s: %v", pos, chunk, err)
+							continue
+						}
+						pattern = unq
+					} else {
+						pattern = strings.Trim(pattern, "`")
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
+						continue
+					}
+					exp.res = append(exp.res, re)
+				}
+				if len(exp.res) == 0 {
+					t.Errorf("%s: want comment with no patterns", pos)
+					continue
+				}
+				if wants[pos.Filename] == nil {
+					wants[pos.Filename] = make(map[int]*expectation)
+				}
+				wants[pos.Filename][pos.Line] = exp
+			}
+		}
+	}
+
+	got := make(map[string]map[int][]lint.Diagnostic)
+	for _, d := range diags {
+		if got[d.Pos.Filename] == nil {
+			got[d.Pos.Filename] = make(map[int][]lint.Diagnostic)
+		}
+		got[d.Pos.Filename][d.Pos.Line] = append(got[d.Pos.Filename][d.Pos.Line], d)
+	}
+
+	for file, byLine := range wants {
+		for line, exp := range byLine {
+			actual := got[file][line]
+			if len(actual) != len(exp.res) {
+				t.Errorf("%s:%d: want %d diagnostic(s), got %d: %v", file, line, len(exp.res), len(actual), messages(actual))
+				continue
+			}
+			for i, re := range exp.res {
+				if !re.MatchString(actual[i].Message) {
+					t.Errorf("%s:%d: diagnostic %q does not match want pattern %q", file, line, actual[i].Message, re)
+				}
+			}
+		}
+	}
+	for file, byLine := range got {
+		for line, actual := range byLine {
+			if wants[file] == nil || wants[file][line] == nil {
+				t.Errorf("%s:%d: unexpected diagnostic(s): %v", file, line, messages(actual))
+			}
+		}
+	}
+}
+
+func messages(ds []lint.Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Message
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+// Package maporder flags the classic nondeterminism leak: ranging over a
+// map while doing something order-sensitive in the body — appending to a
+// slice, printing, writing to a builder/hash, sending on a channel, or
+// emitting a trace event. Go randomizes map iteration per run, so any of
+// those turns a byte-identical golden or a seed-replayable fuzz digest
+// into a coin flip.
+//
+// The endorsed fix is the collect-then-sort idiom, and the analyzer
+// understands its common shape: an append inside the range is accepted
+// when the enclosing function sorts afterwards (any call mentioning "sort"
+// after the loop — sort.Slice, slices.Sort, or a local sortProcs-style
+// helper). Direct output (fmt.Fprintf, Write*, channel sends, emit) inside
+// the body is always flagged — no later sort can repair interleaved
+// output. Commutative work (summing, map writes, keyed Gauge.Set) passes.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sprite/internal/analysis/lint"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &lint.Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive work (append/print/send/emit) inside a range over a map without a subsequent sort",
+	Run:  run,
+}
+
+// sinkMethods are method names whose call inside a map range counts as
+// ordered output: stream writers, hashes, and the cluster's event/trace
+// emitters.
+var sinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"emit":        true,
+	"Emit":        true,
+}
+
+func run(pass *lint.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFuncBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// inspectShallow walks n without descending into nested function literals
+// (each function body is checked on its own when the file walk reaches it).
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+func checkFuncBody(pass *lint.Pass, body *ast.BlockStmt) {
+	var mapRanges []*ast.RangeStmt
+	inspectShallow(body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok && rangesOverMap(pass, rs) {
+			mapRanges = append(mapRanges, rs)
+		}
+		return true
+	})
+	for _, rs := range mapRanges {
+		checkRangeBody(pass, body, rs)
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func rangesOverMap(pass *lint.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkRangeBody(pass *lint.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	inspectShallow(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, funcBody, rs, n)
+		case *ast.SendStmt:
+			pass.Reportf(n.Arrow, "channel send inside range over map: receiver sees a random order; iterate sorted keys instead")
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass.TypesInfo.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.TokPos, "string += inside range over map accumulates in random order; iterate sorted keys instead")
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *lint.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, call *ast.CallExpr) {
+	// Builtin append: nondeterministic element order unless the target
+	// slice is per-iteration scratch (declared inside the body) or the
+	// caller sorts after the loop.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+		if isBuiltin && len(call.Args) > 0 && !declaredWithin(pass, call.Args[0], rs.Body) && !sortsAfter(pass, funcBody, rs) {
+			pass.Reportf(call.Pos(), "append inside range over map without a later sort: slice order changes run to run; sort the result or iterate sorted keys")
+		}
+		return
+	}
+	fn := lint.FuncObjOf(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print")) {
+		pass.Reportf(call.Pos(), "fmt.%s inside range over map emits output in random order; iterate sorted keys instead", fn.Name())
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && sinkMethods[fn.Name()] {
+		pass.Reportf(call.Pos(), "%s call inside range over map feeds an ordered sink in random order; iterate sorted keys instead", fn.Name())
+	}
+}
+
+// declaredWithin reports whether e names a variable declared inside block:
+// a slice created fresh each map iteration accumulates only that
+// iteration's elements, so its order owes nothing to map iteration.
+func declaredWithin(pass *lint.Pass, e ast.Expr, block *ast.BlockStmt) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	return obj != nil && block.Pos() <= obj.Pos() && obj.Pos() <= block.End()
+}
+
+// sortsAfter reports whether the function body contains, after the range
+// statement, a call whose name mentions "sort" (sort.Slice, slices.Sort,
+// or a local helper like sortProcs) — the collect-then-sort idiom.
+func sortsAfter(pass *lint.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	found := false
+	inspectShallow(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		var name string
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+			if x, ok := fun.X.(*ast.Ident); ok {
+				name = x.Name + "." + name // "sort.Slice", "slices.SortFunc"
+			}
+		}
+		if strings.Contains(strings.ToLower(name), "sort") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

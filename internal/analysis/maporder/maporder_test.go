@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"sprite/internal/analysis/linttest"
+	"sprite/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"sprite/internal/analysis/linttest"
+	"sprite/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	linttest.Run(t, metricname.Analyzer, "a")
+}

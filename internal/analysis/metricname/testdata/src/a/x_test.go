@@ -1,0 +1,10 @@
+// _test.go files are exempt from metricname: tests build scratch
+// registries with throwaway names that never reach a snapshot golden.
+package a
+
+import "sprite/internal/metrics"
+
+func testOnlyNames(r *metrics.Registry) {
+	r.Counter("T1")
+	r.Gauge("x")
+}

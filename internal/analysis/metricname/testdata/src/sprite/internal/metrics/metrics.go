@@ -1,0 +1,16 @@
+// Stub of sprite/internal/metrics for the metricname fixture: only the
+// Registry methods' receiver type and name argument must match the real
+// package.
+package metrics
+
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Timing struct{}
+type Span struct{}
+
+func (r *Registry) Counter(name string) *Counter { return nil }
+func (r *Registry) Gauge(name string) *Gauge     { return nil }
+func (r *Registry) Timing(name string) *Timing   { return nil }
+func (r *Registry) StartSpan(name string) *Span  { return nil }

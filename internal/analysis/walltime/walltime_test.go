@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"sprite/internal/analysis/linttest"
+	"sprite/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	linttest.Run(t, walltime.Analyzer, "a")
+}

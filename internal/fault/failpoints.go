@@ -1,0 +1,93 @@
+// Code generated from the spritelint failpoint audit. Regenerate the raw
+// site list with `go run ./cmd/spritelint -audit-failpoints ./...` and fold
+// new names in here; spritelint's failpointreg analyzer fails the build if
+// this table and the injection sites drift apart (unregistered site or
+// dead entry), so the docs, the fuzzer, and the tests can trust it.
+
+package fault
+
+// Failpoint describes one registered named failure point: a place where
+// the kernel or the recovery plane consults the installed FailpointFunc and
+// a triggered fault drives the real abort/recovery path.
+type Failpoint struct {
+	// Name is the string passed to the failpoint hook, area-first
+	// ("mig.vm", "recovery.ping").
+	Name string
+	// Package is the import path of the injection site.
+	Package string
+	// Doc is a one-line description of what failing here exercises.
+	Doc string
+}
+
+// Failpoints is the authoritative registry. Ordering is stable
+// (area-grouped, pipeline order) because the fuzzer derives its fault-kind
+// enumeration from it: reordering entries reshuffles which failpoint a
+// given seed picks and therefore changes every replay digest.
+var Failpoints = []Failpoint{
+	{
+		Name:    "mig.init",
+		Package: "sprite/internal/core",
+		Doc:     "after migration negotiation, before any state moves; failing here aborts with nothing to undo",
+	},
+	{
+		Name:    "mig.vm",
+		Package: "sprite/internal/core",
+		Doc:     "after the address-space transfer (skipped by exec-time migration); failing here exercises VM rollback",
+	},
+	{
+		Name:    "mig.streams",
+		Package: "sprite/internal/core",
+		Doc:     "during per-stream I/O handoff; failing here exercises move-back of partially transferred streams",
+	},
+	{
+		Name:    "mig.pcb",
+		Package: "sprite/internal/core",
+		Doc:     "at the process-control-block switch-over, the migration's commit point",
+	},
+	{
+		Name:    "recovery.ping",
+		Package: "sprite/internal/recovery",
+		Doc:     "the failure detector's liveness probe; failing here fakes a missed ping and perturbs detection latency",
+	},
+	{
+		Name:    "recovery.restart",
+		Package: "sprite/internal/recovery",
+		Doc:     "the supervisor's checkpointed job restart; failing here exercises restart retry and job-loss accounting",
+	},
+}
+
+// registered is the name index, built once at init.
+var registered = func() map[string]Failpoint {
+	m := make(map[string]Failpoint, len(Failpoints))
+	for _, fp := range Failpoints {
+		m[fp.Name] = fp
+	}
+	return m
+}()
+
+// RegisteredFailpoint reports whether name is in the registry.
+func RegisteredFailpoint(name string) bool {
+	_, ok := registered[name]
+	return ok
+}
+
+// FailpointNames returns every registered name in registry order.
+func FailpointNames() []string {
+	out := make([]string, len(Failpoints))
+	for i, fp := range Failpoints {
+		out[i] = fp.Name
+	}
+	return out
+}
+
+// MigrationFailpoints returns the registered mid-migration points
+// ("mig.*") in registry order — the set the scenario fuzzer draws from.
+func MigrationFailpoints() []string {
+	var out []string
+	for _, fp := range Failpoints {
+		if len(fp.Name) > 4 && fp.Name[:4] == "mig." {
+			out = append(out, fp.Name)
+		}
+	}
+	return out
+}

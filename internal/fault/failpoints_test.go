@@ -1,0 +1,44 @@
+package fault
+
+import "testing"
+
+// The fuzzer draws a fault kind by indexing a seeded random value into
+// MigrationFailpoints(), so the registry's mig.* order is part of the
+// replay contract: reordering it changes every recorded scenario digest.
+// This pin makes such a change an explicit, test-visible decision.
+func TestMigrationFailpointOrderPinned(t *testing.T) {
+	want := []string{"mig.init", "mig.vm", "mig.streams", "mig.pcb"}
+	got := MigrationFailpoints()
+	if len(got) != len(want) {
+		t.Fatalf("MigrationFailpoints() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MigrationFailpoints()[%d] = %q, want %q (order is replay-significant)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRegisteredFailpoint(t *testing.T) {
+	for _, fp := range Failpoints {
+		if !RegisteredFailpoint(fp.Name) {
+			t.Errorf("RegisteredFailpoint(%q) = false for a registry entry", fp.Name)
+		}
+		if fp.Package == "" || fp.Doc == "" {
+			t.Errorf("registry entry %q missing package or doc", fp.Name)
+		}
+	}
+	if RegisteredFailpoint("mig.bogus") {
+		t.Error(`RegisteredFailpoint("mig.bogus") = true, want false`)
+	}
+}
+
+func TestFailpointNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, name := range FailpointNames() {
+		if seen[name] {
+			t.Errorf("duplicate failpoint name %q", name)
+		}
+		seen[name] = true
+	}
+}

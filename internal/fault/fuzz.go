@@ -83,7 +83,11 @@ func (sc Scenario) String() string {
 	return b.String()
 }
 
-var migPoints = []string{"mig.init", "mig.vm", "mig.streams", "mig.pcb"}
+// migPoints is the fault-kind pool for KindMigFail, read from the
+// failpoint registry (failpoints.go) so the fuzzer can never arm a point
+// the kernel does not consult. Registry order is replay-significant: the
+// scenario generator indexes into this slice with a seeded draw.
+var migPoints = MigrationFailpoints()
 
 // GenScenario derives a scenario from a seed. Same seed, same scenario.
 func GenScenario(seed int64) Scenario {

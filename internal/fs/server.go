@@ -3,6 +3,7 @@ package fs
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"sprite/internal/rpc"
@@ -154,6 +155,9 @@ func (fl *file) writersOn(except rpc.HostID) int {
 	return n
 }
 
+// openHostsOther returns the hosts (other than except) with the file open,
+// in host order: callers fire consistency RPCs (recalls, shoot-downs) down
+// this list, so its order is part of the deterministic event schedule.
 func (fl *file) openHostsOther(except rpc.HostID) []rpc.HostID {
 	var out []rpc.HostID
 	for h := range fl.opens {
@@ -161,6 +165,7 @@ func (fl *file) openHostsOther(except rpc.HostID) []rpc.HostID {
 			out = append(out, h)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -35,7 +35,7 @@ func (s *Span) End(now time.Duration) time.Duration {
 	}
 	s.done = true
 	d := now - s.start
-	s.reg.Timing(s.name).Observe(d)
+	s.reg.Timing(s.name).Observe(d) //spritelint:allow metricname name was convention-checked at StartSpan; this is a re-lookup of the same string
 	if emit := s.emitFn(); emit != nil {
 		emit(now, "span", fmt.Sprintf("%s took %v", s.name, d))
 	}

@@ -202,7 +202,14 @@ func Run(ctx *core.Ctx, mf *Makefile, opts Options) (*Result, error) {
 		}
 		pending[t.Name] = t
 	}
-	for _, t := range pending {
+	// Dependency counting walks order, not the pending map: the dependents
+	// lists seed the ready queue as jobs finish, so their order decides
+	// which target grabs which host. Iterating the map here would make the
+	// schedule — and the reproduced pmake tables — a map-order coin flip.
+	for _, t := range order {
+		if pending[t.Name] == nil {
+			continue
+		}
 		n := 0
 		for _, d := range t.Deps {
 			if _, isPending := pending[d]; isPending {
