@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-baseline bench-wallclock chaos experiments examples clean
+.PHONY: all build vet lint test race cover bench bench-baseline bench-wallclock chaos shootout experiments examples clean
 
 all: build vet lint test
 
@@ -74,6 +74,17 @@ chaos:
 	SPRITE_CHAOS_SNAPSHOT=$(CURDIR)/RECOVERY_metrics.json \
 		$(GO) test -race -run 'TestCrashStorm|TestCrashAnyHostAtAnyFailpoint|TestGoldenCrashScenarios' -v ./internal/recovery
 	$(GO) run ./cmd/spritesim -experiment E15 -recovery-snapshot RECOVERY_demo.json
+
+# Host-selection churn suite (DESIGN.md §12) under the race detector —
+# reboot storms, flapping, and partitions against all four selector
+# architectures, audited by the claim ledger — plus the load-vector
+# property tests and the misplacement-rate gate against
+# bench/BENCH_hostsel.json. Then the full-scale E16 shoot-out, emitting
+# HOSTSEL_shootout.json for the CI artifact.
+shootout:
+	$(GO) test -race -run 'Churn|Gossip|LoadVector|Merge|Decay|VectorBound|EvictionHint|EpochAdvance|NewestHalf|RebootReleases' -v ./internal/hostsel
+	$(GO) test -race -run 'GossipMisplaceGate' ./internal/experiments
+	$(GO) run ./cmd/spritesim -experiment E16 -hostsel-snapshot HOSTSEL_shootout.json
 
 # Regenerate every reproduced table (see EXPERIMENTS.md).
 experiments:

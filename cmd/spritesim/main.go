@@ -6,6 +6,7 @@
 //	spritesim -list
 //	spritesim -experiment E5 [-seed 42] [-quick] [-metrics]
 //	spritesim -experiment E15 [-crash ws1@250ms+200ms] [-recovery-snapshot out.json]
+//	spritesim -experiment E16 [-fleet-10k] [-hostsel-snapshot HOSTSEL_shootout.json]
 //	spritesim -all [-quick]
 //
 // -metrics appends every cluster's metrics snapshot (RPC traffic, cache
@@ -15,6 +16,9 @@
 // host@at[+dur] crashes the host at `at` and restarts it `dur` later;
 // without +dur the host reboots instantly (state lost, epoch bumped).
 // Repeatable. -recovery-snapshot writes E15's final metrics as JSON.
+//
+// -fleet-10k adds the 10,000-host point to the selector shoot-out (E16);
+// -hostsel-snapshot writes E16's per-selector results as JSON.
 package main
 
 import (
@@ -66,6 +70,8 @@ func run(args []string) error {
 		quick   = fs.Bool("quick", false, "smaller parameter sweeps")
 		metrics = fs.Bool("metrics", false, "append each cluster's metrics snapshot to the tables")
 		recSnap = fs.String("recovery-snapshot", "", "write the recovery experiment's (E15) metrics snapshot JSON to this file")
+		fleet10k = fs.Bool("fleet-10k", false, "add the 10,000-host point to the selector shoot-out (E16)")
+		hostSnap = fs.String("hostsel-snapshot", "", "write the selector shoot-out's (E16) results JSON to this file")
 	)
 	var crashes crashFlags
 	fs.Var(&crashes, "crash", "recovery-experiment fault: host@at[+dur], e.g. ws1@250ms+200ms (repeatable; no +dur = instant reboot)")
@@ -75,6 +81,7 @@ func run(args []string) error {
 	cfg := experiments.Config{
 		Seed: *seed, Quick: *quick, Metrics: *metrics,
 		Crashes: crashes, RecoverySnapshot: *recSnap,
+		Fleet10k: *fleet10k, HostselSnapshot: *hostSnap,
 	}
 	switch {
 	case *list:

@@ -70,6 +70,19 @@ type Cluster struct {
 	// downAt records when each host last crashed, for detection-latency
 	// metrics in the recovery plane.
 	downAt map[rpc.HostID]time.Duration
+
+	// extraChecks are invariant contributions registered by subsystems
+	// layered on the cluster (the host-selection claim ledger, for one);
+	// CheckInvariants runs them after its own checks.
+	extraChecks []func(endOfRun bool) []string
+}
+
+// AddInvariantCheck registers an additional cluster-wide invariant checker
+// consulted by CheckInvariants. Checkers must be read-only and
+// deterministic: they run at quiesce points and their messages land in
+// fuzzer digests and test assertions.
+func (c *Cluster) AddInvariantCheck(fn func(endOfRun bool) []string) {
+	c.extraChecks = append(c.extraChecks, fn)
 }
 
 // TraceFunc receives cluster events (migrations, evictions, process

@@ -31,7 +31,9 @@ import (
 //     counters included), and at a quiesce point none is still in flight —
 //     an abort path that forgot its rollback shows up here as a leak;
 //   - with endOfRun: no processes, home records, server opens, or pipes
-//     remain, and no dirty cache blocks survive (delegated fs checks).
+//     remain, and no dirty cache blocks survive (delegated fs checks);
+//   - any subsystem checks registered with AddInvariantCheck (the
+//     host-selection claim ledger's no-double-claim/no-leak audit).
 func (c *Cluster) CheckInvariants(endOfRun bool) []string {
 	var out []string
 	out = append(out, c.checkLedger(endOfRun)...)
@@ -40,6 +42,9 @@ func (c *Cluster) CheckInvariants(endOfRun bool) []string {
 	out = append(out, c.checkMigrationMetrics()...)
 	out = append(out, c.checkRecovery()...)
 	out = append(out, c.fs.CheckInvariants(endOfRun)...)
+	for _, fn := range c.extraChecks {
+		out = append(out, fn(endOfRun)...)
+	}
 	return out
 }
 

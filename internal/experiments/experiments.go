@@ -31,6 +31,12 @@ type Config struct {
 	// RecoverySnapshot, when non-empty, makes E15 write its final metrics
 	// snapshot to this file as JSON.
 	RecoverySnapshot string
+	// Fleet10k opts the selector shoot-out (E16) into the 10,000-host
+	// point, which is far slower than the standard 100/1,000 sweep.
+	Fleet10k bool
+	// HostselSnapshot, when non-empty, makes E16 write its per-selector
+	// results to this file as JSON.
+	HostselSnapshot string
 }
 
 // Table is one reproduced table or figure, as labeled rows.
@@ -158,6 +164,7 @@ func All() []Runner {
 		{ID: "E13", Name: "remote execution penalty", Run: E13RemotePenalty},
 		{ID: "E14", Name: "a day of load sharing", Run: E14DayInTheLife},
 		{ID: "E15", Name: "crash recovery and failover", Run: E15CrashRecovery},
+		{ID: "E16", Name: "selector shoot-out under churn", Run: E16SelectorShootout},
 	}
 }
 

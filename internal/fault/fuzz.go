@@ -8,6 +8,7 @@ import (
 
 	"sprite/internal/core"
 	"sprite/internal/fs"
+	"sprite/internal/hostsel"
 	"sprite/internal/rpc"
 	"sprite/internal/sim"
 	"sprite/internal/trace"
@@ -70,13 +71,17 @@ type Scenario struct {
 	Seed         int64
 	Workstations int
 	Procs        int
-	Events       []Event
+	// Gossip runs the gossip host selector (daemons plus a claim/release
+	// requester, audited by the claim ledger) alongside the process
+	// workload, so selector soft state is fuzzed under the same faults.
+	Gossip bool
+	Events []Event
 }
 
 // String renders the scenario compactly for failure reports.
 func (sc Scenario) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "seed=%d ws=%d procs=%d", sc.Seed, sc.Workstations, sc.Procs)
+	fmt.Fprintf(&b, "seed=%d ws=%d procs=%d gossip=%t", sc.Seed, sc.Workstations, sc.Procs, sc.Gossip)
 	for _, e := range sc.Events {
 		fmt.Fprintf(&b, " [%v w%d at=%v dur=%v p=%.2f %s]", e.Kind, e.Host, e.At, e.Dur, e.Prob, e.Point)
 	}
@@ -96,6 +101,7 @@ func GenScenario(seed int64) Scenario {
 		Seed:         seed,
 		Workstations: 3 + rng.Intn(3),
 		Procs:        4 + rng.Intn(6),
+		Gossip:       rng.Intn(2) == 0,
 	}
 	n := 1 + rng.Intn(4)
 	crashed := make(map[int]bool)
@@ -245,6 +251,53 @@ func RunScenario(sc Scenario) *Result {
 		}
 	}
 
+	// Optionally run the gossip host selector under the same fault
+	// schedule: per-host gossip daemons, one claim/release requester, and
+	// the claim ledger's audit wired into CheckInvariants. Selector soft
+	// state (views, claims, hints) then gets fuzzed by exactly the crash /
+	// drop / partition / reboot events the kernel sees.
+	var gossip *hostsel.Probabilistic
+	if sc.Gossip {
+		gp := hostsel.DefaultProbabilisticParams()
+		gossip = hostsel.NewProbabilistic(c, gp)
+		ledger := hostsel.NewClaimLedger(gossip, c, gp.ClaimLease)
+		ledger.Register(c)
+		c.Boot("fuzz-hostsel", func(env *sim.Env) error {
+			defer gossip.Stop()
+			gossip.StartDaemons(env)
+			client := c.Workstation(0).Host()
+			// Phase one runs inside the fault windows (mostly denials: no
+			// host is idle-aged yet, and the faults are live); phase two
+			// runs after the idle threshold so grants and releases happen
+			// on post-fault state — rebooted hosts, healed partitions.
+			for _, startAt := range []time.Duration{500 * time.Millisecond, 70 * time.Second} {
+				if wait := startAt - env.Now(); wait > 0 {
+					if err := env.Sleep(wait); err != nil {
+						return err
+					}
+				}
+				for i := 0; i < 6; i++ {
+					got, err := ledger.RequestHosts(env, client, 1)
+					if err != nil {
+						return err
+					}
+					if err := env.Sleep(200 * time.Millisecond); err != nil {
+						return err
+					}
+					if len(got) > 0 {
+						if err := ledger.Release(env, client, got); err != nil {
+							return err
+						}
+					}
+					if err := env.Sleep(100 * time.Millisecond); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	}
+
 	// Pre-decide the whole workload from a second derived stream: the sim's
 	// own rng is left to the kernel.
 	wrng := rand.New(rand.NewSource(sc.Seed ^ 0x740ad))
@@ -314,6 +367,11 @@ func RunScenario(sc Scenario) *Result {
 	res.Digest = fmt.Sprintf("t=%v calls=%d retries=%d timeouts=%d injected=%d started=%d exited=%d crashed=%d",
 		c.Sim().Now(), c.Transport().TotalCalls(), c.Transport().Retries(), c.Transport().Timeouts(),
 		plane.Injected(), started, exited, crashed)
+	if gossip != nil {
+		st := gossip.Stats()
+		res.Digest += fmt.Sprintf(" hostsel: req=%d granted=%d conflicts=%d msgs=%d",
+			st.Requests, st.Granted, st.Conflicts, st.Messages)
+	}
 	if res.Failed() {
 		res.Tail = lg.Tail(20)
 	}
@@ -445,6 +503,14 @@ func Shrink(sc Scenario) (Scenario, *Result) {
 				cur, res = cand, r
 				changed = true
 				break
+			}
+		}
+		if !changed && cur.Gossip {
+			cand := cur
+			cand.Gossip = false
+			if r := RunScenario(cand); r.Failed() {
+				cur, res = cand, r
+				changed = true
 			}
 		}
 		if !changed && cur.Procs > 1 {

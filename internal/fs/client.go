@@ -2,6 +2,7 @@ package fs
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -52,7 +53,22 @@ type Client struct {
 	// the first lookup of each domain (Sprite's prefix-table protocol).
 	prefixCache *Namespace
 
+	// pendingCloses holds close RPCs that failed in transit (server
+	// unreachable: crash window, partition) for retry at the next Open.
+	// Without the retry the server's open entry leaks until an epoch
+	// scrub, and a host that never reboots never gets scrubbed.
+	pendingCloses []pendingClose
+
 	stats ClientStats
+}
+
+// pendingClose is one queued close retry, tagged with the client's boot
+// epoch at failure time: a reboot voids the retry (the server scrubs the
+// dead epoch's entries itself, and a late close must not debit a fresh
+// post-reboot open).
+type pendingClose struct {
+	args  closeArgs
+	epoch rpc.Epoch
 }
 
 func newClient(f *FS, host rpc.HostID) *Client {
@@ -145,8 +161,41 @@ type OpenOptions struct {
 	Uncacheable bool
 }
 
+// transportFailed reports whether an RPC error means the server never
+// processed the call (as opposed to processing it and returning an error).
+func transportFailed(err error) bool {
+	return errors.Is(err, rpc.ErrHostDown) || errors.Is(err, rpc.ErrTimeout) || errors.Is(err, rpc.ErrNoService)
+}
+
+// drainCloses retries queued close RPCs. A server response — success or
+// error — settles an entry; another transport failure keeps it for later.
+// Entries from a previous boot epoch are dropped: the epoch scrub already
+// reclaimed them on the server.
+func (c *Client) drainCloses(env *sim.Env) {
+	if len(c.pendingCloses) == 0 {
+		return
+	}
+	keep := c.pendingCloses[:0]
+	for _, p := range c.pendingCloses {
+		if p.epoch != c.ep.Epoch() {
+			continue
+		}
+		p.args.Dirty = c.hasDirty(p.args.FID)
+		if _, err := c.ep.Call(env, p.args.FID.Server, "fs.close", p.args, 32); err != nil && transportFailed(err) {
+			keep = append(keep, p)
+		}
+	}
+	c.pendingCloses = keep
+}
+
+// Settle retries close RPCs that failed in transit, for callers that know
+// the network healed but will not Open again (a daemon's shutdown path).
+// Best-effort: entries whose server is still unreachable stay queued.
+func (c *Client) Settle(env *sim.Env) { c.drainCloses(env) }
+
 // Open opens path in the given mode and returns a new stream.
 func (c *Client) Open(env *sim.Env, path string, mode OpenMode, opts OpenOptions) (*Stream, error) {
+	c.drainCloses(env)
 	srvHost, err := c.lookupServer(env, path)
 	if err != nil {
 		return nil, fmt.Errorf("open %s: %w", path, err)
@@ -221,6 +270,14 @@ func (c *Client) Close(env *sim.Env, st *Stream) error {
 		} else if _, err := c.ep.Call(env, st.FID.Server, "fs.close", closeArgs{
 			FID: st.FID, Mode: st.Mode, Host: c.host, Dirty: c.hasDirty(st.FID),
 		}, 32); err != nil {
+			if transportFailed(err) {
+				// The server never saw the close; queue it so the open
+				// entry doesn't leak server-side (retried at next Open).
+				c.pendingCloses = append(c.pendingCloses, pendingClose{
+					args:  closeArgs{FID: st.FID, Mode: st.Mode, Host: c.host},
+					epoch: c.ep.Epoch(),
+				})
+			}
 			return fmt.Errorf("close %s: %w", st.Path, err)
 		}
 	}

@@ -1,14 +1,43 @@
-package hostsel
+// External test package: internal/fault imports internal/hostsel (the
+// fuzzer drives the gossip selector), so tests that use the fault plane must
+// live outside package hostsel to avoid an import cycle.
+package hostsel_test
 
 import (
 	"errors"
 	"testing"
 	"time"
 
+	"sprite/internal/core"
 	"sprite/internal/fault"
+	"sprite/internal/hostsel"
 	"sprite/internal/rpc"
 	"sprite/internal/sim"
 )
+
+// newCluster builds a cluster where every workstation has been quiet long
+// enough to count as idle.
+func newCluster(t *testing.T, workstations int) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.Options{Workstations: workstations, FileServers: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// warmup advances past the idle-input age so quiet hosts are available.
+func warmup(env *sim.Env) error { return env.Sleep(time.Minute) }
+
+// announceAll pushes every workstation's availability into the selector.
+func announceAll(env *sim.Env, c *core.Cluster, sel hostsel.Selector) error {
+	for _, k := range c.Workstations() {
+		if err := sel.NotifyAvailability(env, k.Host(), k.Available(env.Now())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // TestCentralUnderFaultPlane drives the migd crash/restart scenario through
 // the fault plane instead of poking endpoints directly: first a lossy
@@ -21,7 +50,7 @@ import (
 func TestCentralUnderFaultPlane(t *testing.T) {
 	c := newCluster(t, 4)
 	migd := rpc.HostID(1)
-	sel := NewCentral(c, migd, DefaultCentralParams())
+	sel := hostsel.NewCentral(c, migd, hostsel.DefaultCentralParams())
 	plane := fault.NewPlane(c, 42)
 	defer plane.Detach()
 	c.Boot("boot", func(env *sim.Env) error {

@@ -46,7 +46,7 @@ func NewSharedFile(cluster *core.Cluster, path string) (*SharedFile, error) {
 		s.slots[k.Host()] = i
 		s.hosts = append(s.hosts, k.Host())
 	}
-	if _, err := cluster.FS().SeedSized(path, recordSize*len(s.hosts), false); err != nil {
+	if _, err := cluster.FS().SeedSized(path, recordSize*len(s.hosts), true); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -65,16 +65,25 @@ type hostRecord struct {
 	idleSince time.Duration
 }
 
+// The record is split into two single-writer regions so concurrent updates
+// never clobber each other: bytes [0, availPartSize) — available flag and
+// idle timestamp — are written only by the host the record describes, and
+// bytes [availPartSize, recordSize) — the claim mark — only by requesters
+// holding the lock. An earlier layout interleaved the two, and a host
+// rewriting its whole record could race a locked claimer and silently clear
+// the claim bit (a lost update the churn suite caught as a double grant).
+const availPartSize = 9
+
 func encodeRecord(r hostRecord) []byte {
 	buf := make([]byte, recordSize)
 	if r.available {
 		buf[0] = 1
 	}
+	binary.LittleEndian.PutUint64(buf[1:], uint64(r.idleSince))
 	if r.claimed {
-		buf[1] = 1
+		buf[availPartSize] = 1
 	}
-	binary.LittleEndian.PutUint64(buf[2:], uint64(r.claimedBy))
-	binary.LittleEndian.PutUint64(buf[10:], uint64(r.idleSince))
+	binary.LittleEndian.PutUint64(buf[availPartSize+1:], uint64(r.claimedBy))
 	return buf
 }
 
@@ -84,9 +93,9 @@ func decodeRecord(buf []byte) hostRecord {
 	}
 	return hostRecord{
 		available: buf[0] == 1,
-		claimed:   buf[1] == 1,
-		claimedBy: rpc.HostID(binary.LittleEndian.Uint64(buf[2:])),
-		idleSince: time.Duration(binary.LittleEndian.Uint64(buf[10:])),
+		idleSince: time.Duration(binary.LittleEndian.Uint64(buf[1:])),
+		claimed:   buf[availPartSize] == 1,
+		claimedBy: rpc.HostID(binary.LittleEndian.Uint64(buf[availPartSize+1:])),
 	}
 }
 
@@ -113,7 +122,10 @@ func (s *SharedFile) NotifyAvailability(env *sim.Env, host rpc.HostID, available
 		rec.idleSince = env.Now()
 	}
 	rec.available = available
-	return client.WriteAt(env, st, off, encodeRecord(rec))
+	// Only the availability region is written: the claim bytes belong to
+	// requesters, and a host never blocks on their lock — a faulted host
+	// stuck holding the file lock would wedge selection cluster-wide.
+	return client.WriteAt(env, st, off, encodeRecord(rec)[:availPartSize])
 }
 
 // RequestHosts implements Selector: lock, scan, claim, unlock.
@@ -152,7 +164,7 @@ func (s *SharedFile) RequestHosts(env *sim.Env, client rpc.HostID, n int) ([]rpc
 		rec := decodeRecord(data[i*recordSize:])
 		rec.claimed = true
 		rec.claimedBy = client
-		if err := c.WriteAt(env, st, int64(i*recordSize), encodeRecord(rec)); err != nil {
+		if err := c.WriteAt(env, st, int64(i*recordSize+availPartSize), encodeRecord(rec)[availPartSize:]); err != nil {
 			return nil, err
 		}
 	}
@@ -193,7 +205,7 @@ func (s *SharedFile) Release(env *sim.Env, client rpc.HostID, hosts []rpc.HostID
 		if rec.claimedBy == client {
 			rec.claimed = false
 			rec.claimedBy = rpc.NoHost
-			if err := c.WriteAt(env, st, off, encodeRecord(rec)); err != nil {
+			if err := c.WriteAt(env, st, off+availPartSize, encodeRecord(rec)[availPartSize:]); err != nil {
 				return err
 			}
 		}

@@ -42,6 +42,22 @@ type Epoch uint64
 // reboots from ordinary traffic without waiting for the next heartbeat.
 type EpochObserver func(host HostID, epoch Epoch)
 
+// HintProvider supplies a small opaque payload piggybacked on every remote
+// reply the endpoint sends, in the same spirit as the epoch piggyback: a
+// subsystem with soft state (the gossip host selector's eviction hints) can
+// spread small facts on ordinary traffic without extra messages. The
+// returned size is charged to the reply on the wire; return (nil, 0) when
+// there is nothing to say, which keeps the call byte-identical to one with
+// no provider installed. The payload is captured when the handler executes,
+// so a retransmitted (cached) reply carries the same hints.
+type HintProvider func() (payload any, size int)
+
+// HintObserver receives the piggybacked payload delivered with a reply.
+// caller is the host whose call carried the reply back; server is the host
+// whose provider produced the payload. Like EpochObserver, it runs inside
+// the calling activity and must be pure bookkeeping: no sleeping, no calls.
+type HintObserver func(caller, server HostID, payload any)
+
 // Errors reported by the transport.
 var (
 	// ErrHostDown is returned when calling a host marked down.
@@ -143,6 +159,7 @@ type Transport struct {
 	stats     map[string]*CallStats
 	injector  Injector
 	observer  EpochObserver
+	hintObs   HintObserver
 	retries   uint64
 	timeouts  uint64
 
@@ -218,6 +235,11 @@ func (t *Transport) SetInjector(inj Injector) { t.injector = inj }
 // Observers must be pure bookkeeping: they run inside the calling activity
 // and may not sleep, block, or issue further calls.
 func (t *Transport) SetEpochObserver(obs EpochObserver) { t.observer = obs }
+
+// SetHintObserver installs (or, with nil, removes) the callback receiving
+// reply-piggybacked hint payloads. With no observer — or no endpoint
+// provider — the piggyback machinery is completely inert.
+func (t *Transport) SetHintObserver(obs HintObserver) { t.hintObs = obs }
 
 // Retries returns the number of retransmissions performed so far.
 func (t *Transport) Retries() uint64 { return t.retries }
@@ -312,6 +334,7 @@ type Endpoint struct {
 	services  map[string]Handler
 	down      bool
 	epoch     Epoch
+	hints     HintProvider
 }
 
 // Host returns the endpoint's host id.
@@ -329,6 +352,13 @@ func (e *Endpoint) Down() bool { return e.down }
 
 // Epoch returns the host's current boot incarnation.
 func (e *Endpoint) Epoch() Epoch { return e.epoch }
+
+// SetHintProvider installs (or, with nil, removes) the provider whose
+// payload is piggybacked on this endpoint's remote replies. The provider
+// survives Restart: piggyback state is a property of the software running
+// on the host, and reinstalling it on every reboot would lose hints queued
+// by handlers that already ran under the new epoch.
+func (e *Endpoint) SetHintProvider(p HintProvider) { e.hints = p }
 
 // Restart brings the host back up under a new boot epoch. It is the
 // transport-level half of a reboot: the address and service table survive,
@@ -377,6 +407,7 @@ func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSiz
 	var reply any
 	var replySize int
 	var herr error
+	var hintPayload any
 	for attempt := 0; ; attempt++ {
 		// A host that went down between attempts fails fast, like a channel
 		// reset in Sprite RPC.
@@ -412,6 +443,11 @@ func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSiz
 		}
 		if !executed {
 			reply, replySize, herr = h(env, e.host, arg)
+			if target.hints != nil {
+				var hintSize int
+				hintPayload, hintSize = target.hints()
+				replySize += hintSize
+			}
 			executed = true
 		}
 		if v.Duplicate {
@@ -440,6 +476,9 @@ func (e *Endpoint) Call(env *sim.Env, to HostID, service string, arg any, argSiz
 		t.record(to, service, argSize+replySize, herr != nil)
 		if t.observer != nil {
 			t.observer(to, target.epoch)
+		}
+		if t.hintObs != nil && hintPayload != nil {
+			t.hintObs(e.host, to, hintPayload)
 		}
 		return reply, herr
 	}

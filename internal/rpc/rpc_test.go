@@ -183,3 +183,134 @@ func TestHostsSorted(t *testing.T) {
 		t.Fatalf("hosts = %v", ids)
 	}
 }
+
+// TestHintPiggyback: a hint provider installed on the server endpoint rides
+// on ordinary replies — the observer sees (caller, server, payload) on the
+// caller's side, and the hint's size is charged to the reply message.
+func TestHintPiggyback(t *testing.T) {
+	s, tr := newFabric(t, 2)
+	tr.Endpoint(2).Handle("svc", func(env *sim.Env, from HostID, arg any) (any, int, error) {
+		return "reply", 100, nil
+	})
+	tr.Endpoint(2).SetHintProvider(func() (any, int) {
+		return "evict host9", 12
+	})
+	type seen struct {
+		caller, server HostID
+		payload        any
+	}
+	var got []seen
+	tr.SetHintObserver(func(caller, server HostID, payload any) {
+		got = append(got, seen{caller, server, payload})
+	})
+	var plain, hinted time.Duration
+	s.Spawn("caller", func(env *sim.Env) error {
+		t0 := env.Now()
+		if _, err := tr.Endpoint(1).Call(env, 2, "svc", nil, 100); err != nil {
+			return err
+		}
+		hinted = env.Now() - t0
+		// Same call with the provider removed: the reply is 12 bytes lighter.
+		tr.Endpoint(2).SetHintProvider(nil)
+		t0 = env.Now()
+		if _, err := tr.Endpoint(1).Call(env, 2, "svc", nil, 100); err != nil {
+			return err
+		}
+		plain = env.Now() - t0
+		return nil
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("observer fired %d times, want 1", len(got))
+	}
+	if got[0].caller != 1 || got[0].server != 2 || got[0].payload != "evict host9" {
+		t.Fatalf("observed %+v", got[0])
+	}
+	if hinted <= plain {
+		t.Fatalf("hinted reply (%v) should cost more than plain reply (%v): hint bytes not charged", hinted, plain)
+	}
+}
+
+// TestHintPiggybackInertWhenEmpty: a provider returning (nil, 0) adds no
+// bytes and never reaches the observer — quiet endpoints keep default runs
+// byte-identical.
+func TestHintPiggybackInertWhenEmpty(t *testing.T) {
+	s, tr := newFabric(t, 2)
+	tr.Endpoint(2).Handle("svc", func(env *sim.Env, from HostID, arg any) (any, int, error) {
+		return nil, 100, nil
+	})
+	fired := 0
+	tr.SetHintObserver(func(caller, server HostID, payload any) { fired++ })
+	var withProvider time.Duration
+	s.Spawn("caller", func(env *sim.Env) error {
+		t0 := env.Now()
+		if _, err := tr.Endpoint(1).Call(env, 2, "svc", nil, 100); err != nil {
+			return err
+		}
+		base := env.Now() - t0
+		tr.Endpoint(2).SetHintProvider(func() (any, int) { return nil, 0 })
+		t0 = env.Now()
+		if _, err := tr.Endpoint(1).Call(env, 2, "svc", nil, 100); err != nil {
+			return err
+		}
+		withProvider = env.Now() - t0
+		if withProvider != base {
+			t.Errorf("empty provider changed reply timing: %v vs %v", withProvider, base)
+		}
+		return nil
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("observer fired %d times for empty hints, want 0", fired)
+	}
+}
+
+// TestHintPiggybackSkipsLocalShortcut: same-host calls bypass the network
+// and carry no piggyback.
+func TestHintPiggybackSkipsLocalShortcut(t *testing.T) {
+	s, tr := newFabric(t, 1)
+	tr.Endpoint(1).Handle("svc", func(env *sim.Env, from HostID, arg any) (any, int, error) {
+		return nil, 4, nil
+	})
+	tr.Endpoint(1).SetHintProvider(func() (any, int) { return "hint", 4 })
+	fired := 0
+	tr.SetHintObserver(func(caller, server HostID, payload any) { fired++ })
+	s.Spawn("caller", func(env *sim.Env) error {
+		_, err := tr.Endpoint(1).Call(env, 1, "svc", nil, 4)
+		return err
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("observer fired %d times on a local call, want 0", fired)
+	}
+}
+
+// TestHintProviderSurvivesRestart: like handlers, the provider is part of
+// the host's configuration, not its volatile state.
+func TestHintProviderSurvivesRestart(t *testing.T) {
+	s, tr := newFabric(t, 2)
+	tr.Endpoint(2).Handle("svc", func(env *sim.Env, from HostID, arg any) (any, int, error) {
+		return nil, 4, nil
+	})
+	tr.Endpoint(2).SetHintProvider(func() (any, int) { return "still here", 4 })
+	fired := 0
+	tr.SetHintObserver(func(caller, server HostID, payload any) { fired++ })
+	tr.Endpoint(2).SetDown(true)
+	tr.Endpoint(2).Restart()
+	s.Spawn("caller", func(env *sim.Env) error {
+		_, err := tr.Endpoint(1).Call(env, 2, "svc", nil, 4)
+		return err
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("observer fired %d times after restart, want 1", fired)
+	}
+}
