@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-baseline bench-wallclock chaos shootout experiments examples clean
+.PHONY: all build vet lint test race cover bench bench-baseline bench-wallclock chaos shootout scale experiments examples clean
 
 all: build vet lint test
 
@@ -25,8 +25,14 @@ test:
 
 # The simulator parks goroutines and hands control across channels, so the
 # race detector is the test that the one-activity-at-a-time discipline holds.
+# The second leg reruns the cross-shard suites — chaos, churn, fuzz,
+# cluster, and the kernel's own stress tests — with the conservative
+# parallel kernel enabled (SPRITE_SIM_PARALLEL): worker handoffs, mailbox
+# delivery, and sharded metrics cells must be clean under the race detector
+# at every worker count, not just logically equivalent.
 race:
 	$(GO) test -race ./...
+	SPRITE_SIM_PARALLEL=4 $(GO) test -race ./internal/sim ./internal/core ./internal/fault ./internal/recovery ./internal/hostsel
 
 # Minimum total coverage enforced; raise as the suite grows.
 COVER_MIN ?= 60
@@ -56,14 +62,19 @@ bench:
 bench-baseline:
 	$(GO) run ./cmd/migbench -out $(BENCH_BASELINE)
 
-# Wall-clock benchmarks of the simulator, RPC, and VM hot paths — the code
-# whose real (not virtual) speed bounds how fast experiments run. Repeated
-# runs (BENCH_COUNT) make the output benchstat-ready: save one run, make a
-# change, run again, and `benchstat old.txt bench-wallclock.txt`.
+# Wall-clock benchmarks of the simulator, RPC, VM, and metrics hot paths —
+# the code whose real (not virtual) speed bounds how fast experiments run.
+# Repeated runs (BENCH_COUNT) make the output benchstat-ready: save one
+# run, make a change, run again, and `benchstat old.txt
+# bench-wallclock.txt`. BenchmarkParallelKernel (sim) and
+# BenchmarkRegistryParallel (metrics) are the parallel kernel's speedup and
+# contention evidence; E17 then measures the same end to end and emits the
+# BENCH_wallclock.json CI artifact (committed reference: bench/).
 BENCH_COUNT ?= 6
 bench-wallclock:
 	$(GO) test -run '^$$' -bench=. -benchmem -count=$(BENCH_COUNT) \
-		./internal/sim ./internal/rpc ./internal/vm | tee bench-wallclock.txt
+		./internal/sim ./internal/rpc ./internal/vm ./internal/metrics | tee bench-wallclock.txt
+	$(GO) run ./cmd/spritesim -experiment E17 -wallclock-snapshot BENCH_wallclock.json
 
 # Crash-storm chaos suite (DESIGN.md §10) under the race detector: every
 # migration strategy in both batch modes survives a storm of host crashes
@@ -71,7 +82,7 @@ bench-wallclock:
 # RECOVERY_metrics.json — per-configuration recovery counters — plus the
 # recovery demo's full metrics snapshot for the CI artifact.
 chaos:
-	SPRITE_CHAOS_SNAPSHOT=$(CURDIR)/RECOVERY_metrics.json \
+	SPRITE_CHAOS_SNAPSHOT=$(CURDIR)/RECOVERY_metrics.json SPRITE_SIM_PARALLEL=4 \
 		$(GO) test -race -run 'TestCrashStorm|TestCrashAnyHostAtAnyFailpoint|TestGoldenCrashScenarios' -v ./internal/recovery
 	$(GO) run ./cmd/spritesim -experiment E15 -recovery-snapshot RECOVERY_demo.json
 
@@ -82,9 +93,15 @@ chaos:
 # bench/BENCH_hostsel.json. Then the full-scale E16 shoot-out, emitting
 # HOSTSEL_shootout.json for the CI artifact.
 shootout:
-	$(GO) test -race -run 'Churn|Gossip|LoadVector|Merge|Decay|VectorBound|EvictionHint|EpochAdvance|NewestHalf|RebootReleases' -v ./internal/hostsel
-	$(GO) test -race -run 'GossipMisplaceGate' ./internal/experiments
+	SPRITE_SIM_PARALLEL=4 $(GO) test -race -run 'Churn|Gossip|LoadVector|Merge|Decay|VectorBound|EvictionHint|EpochAdvance|NewestHalf|RebootReleases' -v ./internal/hostsel
+	SPRITE_SIM_PARALLEL=4 $(GO) test -race -run 'GossipMisplaceGate' ./internal/experiments
 	$(GO) run ./cmd/spritesim -experiment E16 -hostsel-snapshot HOSTSEL_shootout.json
+
+# The 10,000-host scale tier (nightly CI): E16's combined-churn schedule —
+# reboot storm, flapping hosts, two partitions, competing requesters — at
+# fleet scale, on the parallel kernel. Emits HOSTSEL_10k.json.
+scale:
+	$(GO) run ./cmd/spritesim -experiment E16 -hosts 10000 -parallel -hostsel-snapshot HOSTSEL_10k.json
 
 # Regenerate every reproduced table (see EXPERIMENTS.md).
 experiments:

@@ -1,10 +1,11 @@
 // Command spritelint is the project's multichecker: it runs the
 // internal/analysis suite — walltime, globalrand, maporder, failpointreg,
-// metricname — over the requested packages and fails (exit 1) on any
-// violation. The analyzers statically enforce the contracts everything
-// else in this repo only promises: byte-identical goldens, seed-replayable
-// fuzzing, the exact virtual-time regression gate, and a failpoint/metric
-// namespace shared by code, tests, and DESIGN.md §11.
+// metricname, shardedstate — over the requested packages and fails (exit 1)
+// on any violation. The analyzers statically enforce the contracts
+// everything else in this repo only promises: byte-identical goldens,
+// seed-replayable fuzzing, the exact virtual-time regression gate, a
+// failpoint/metric namespace shared by code, tests, and DESIGN.md §11, and
+// the parallel kernel's confined-activity discipline (DESIGN.md §13).
 //
 // Usage:
 //
@@ -40,6 +41,7 @@ import (
 	"sprite/internal/analysis/load"
 	"sprite/internal/analysis/maporder"
 	"sprite/internal/analysis/metricname"
+	"sprite/internal/analysis/shardedstate"
 	"sprite/internal/analysis/walltime"
 )
 
@@ -49,6 +51,7 @@ var analyzers = []*lint.Analyzer{
 	maporder.Analyzer,
 	failpointreg.Analyzer,
 	metricname.Analyzer,
+	shardedstate.Analyzer,
 }
 
 func main() {

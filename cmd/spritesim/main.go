@@ -7,7 +7,9 @@
 //	spritesim -experiment E5 [-seed 42] [-quick] [-metrics]
 //	spritesim -experiment E15 [-crash ws1@250ms+200ms] [-recovery-snapshot out.json]
 //	spritesim -experiment E16 [-fleet-10k] [-hostsel-snapshot HOSTSEL_shootout.json]
-//	spritesim -all [-quick]
+//	spritesim -experiment E16 -hosts 10000
+//	spritesim -experiment E17 [-hosts 1000] [-wallclock-snapshot BENCH_wallclock.json]
+//	spritesim -all [-quick] [-parallel] [-workers N]
 //
 // -metrics appends every cluster's metrics snapshot (RPC traffic, cache
 // behaviour, migration phase timings) under the corresponding table.
@@ -19,12 +21,21 @@
 //
 // -fleet-10k adds the 10,000-host point to the selector shoot-out (E16);
 // -hostsel-snapshot writes E16's per-selector results as JSON.
+//
+// -hosts overrides the scale-aware experiments' host count: E16 runs its
+// combined-churn schedule at exactly that fleet size (the 10k CI tier),
+// and E17 sizes its confined load-daemon fleet.
+//
+// -parallel / -workers run every cluster on the conservative parallel
+// kernel, which commits the identical event order — same tables, less
+// wallclock. -wallclock-snapshot writes E17's measurements as JSON.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"sprite/internal/experiments"
 	"sprite/internal/recovery"
@@ -72,16 +83,32 @@ func run(args []string) error {
 		recSnap = fs.String("recovery-snapshot", "", "write the recovery experiment's (E15) metrics snapshot JSON to this file")
 		fleet10k = fs.Bool("fleet-10k", false, "add the 10,000-host point to the selector shoot-out (E16)")
 		hostSnap = fs.String("hostsel-snapshot", "", "write the selector shoot-out's (E16) results JSON to this file")
+		hosts    = fs.Int("hosts", 0, "override the scale-aware experiments' host count (E16 fleet size, E17 load daemons)")
+		wallSnap = fs.String("wallclock-snapshot", "", "write the wallclock experiment's (E17) rows JSON to this file")
+		parallel = fs.Bool("parallel", false, "run every cluster on the conservative parallel kernel (identical results, less wallclock)")
+		workers  = fs.Int("workers", 0, "parallel kernel worker count (0 = GOMAXPROCS; implies -parallel)")
 	)
 	var crashes crashFlags
 	fs.Var(&crashes, "crash", "recovery-experiment fault: host@at[+dur], e.g. ws1@250ms+200ms (repeatable; no +dur = instant reboot)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *parallel || *workers > 0 {
+		// Every cluster any experiment builds honours SPRITE_SIM_PARALLEL
+		// (core.NewCluster), so one env var opts the whole run in. The
+		// parallel kernel commits the serial event order bit for bit, so
+		// outputs are unchanged.
+		v := "true"
+		if *workers > 0 {
+			v = strconv.Itoa(*workers)
+		}
+		os.Setenv("SPRITE_SIM_PARALLEL", v)
+	}
 	cfg := experiments.Config{
 		Seed: *seed, Quick: *quick, Metrics: *metrics,
 		Crashes: crashes, RecoverySnapshot: *recSnap,
 		Fleet10k: *fleet10k, HostselSnapshot: *hostSnap,
+		Hosts: *hosts, WallclockSnapshot: *wallSnap,
 	}
 	switch {
 	case *list:

@@ -1,0 +1,205 @@
+// Package shardedstate enforces the confined-activity contract of the
+// conservative parallel kernel (DESIGN.md §13). An activity spawned with
+// sim.Simulation.SpawnOn runs inside a worker's window, concurrently with
+// activities on other shards; the only state it may touch is its own.
+// Cross-shard data must flow through the kernel's ordered primitives —
+// sim.Mailbox sends (whose delay clears the lookahead horizon) and the
+// slot-sharded metrics cells merged at snapshot — because anything else is
+// either a data race or, worse, a schedule-dependent result that breaks the
+// bit-for-bit serial-equivalence guarantee the whole test pyramid leans on.
+//
+// The analyzer inspects every confined body reachable from a SpawnOn call:
+// an inline func literal, or the literal(s) returned by a same-package
+// closure factory (the bgload `b.daemon(host)` idiom). Inside one it flags
+//
+//   - writes to captured variables (assignment, op-assign, ++/--, through
+//     selectors, indexes, or pointers whose base is declared outside the
+//     literal) — confined state must be literal-local;
+//   - Env.Rand, the simulation-global stream (runtime panics too; the
+//     analyzer moves the failure to lint time) — use Env.LocalRand;
+//   - the unsharded metrics mutators Counter.Inc/Add and Timing.Observe —
+//     use the slot-keyed variants with sim.WorkerSlot(env);
+//   - Gauge.Set/Add — gauges are last-writer-wins and deliberately not
+//     sharded; report through a Mailbox to an exclusive collector.
+//
+// Exclusive activities (sim.Simulation.Spawn, shard 0) are unrestricted:
+// the serial commit order is the arbiter there. _test.go files are exempt —
+// tests capture state and assert on it after Run returns, which the
+// end-of-run barrier makes safe.
+package shardedstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sprite/internal/analysis/lint"
+)
+
+const (
+	simPkg     = "sprite/internal/sim"
+	metricsPkg = "sprite/internal/metrics"
+)
+
+// unsharded lists the shard-oblivious metrics mutators and the slot-keyed
+// replacement each confined activity must use instead (slice, not map: the
+// report order on a line with several violations must be deterministic).
+var unsharded = []struct {
+	typ, method, repl string
+}{
+	{"Counter", "Inc", "IncSlot"},
+	{"Counter", "Add", "AddSlot"},
+	{"Timing", "Observe", "ObserveSlot"},
+}
+
+// Analyzer is the shardedstate check.
+var Analyzer = &lint.Analyzer{
+	Name: "shardedstate",
+	Doc:  "confined activities (sim.SpawnOn) must not mutate captured state, use Env.Rand, or bump unsharded metrics; cross-shard data flows through mailboxes and slot-sharded cells",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Filename(f.Pos()), "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.FuncObjOf(pass.TypesInfo, call)
+			if !lint.IsMethod(fn, simPkg, "Simulation", "SpawnOn") || len(call.Args) != 3 {
+				return true
+			}
+			for _, lit := range confinedBodies(pass, call.Args[2]) {
+				checkConfined(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// confinedBodies resolves SpawnOn's activity argument to the func literals
+// that will actually run confined: the argument itself when it is a
+// literal, or the literals returned by a same-package function/method when
+// the argument is a closure-factory call. Anything more dynamic (a func
+// value threaded through a variable or another package) is out of reach for
+// a per-package analyzer and is left to the kernel's runtime checks.
+func confinedBodies(pass *lint.Pass, arg ast.Expr) []*ast.FuncLit {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return []*ast.FuncLit{e}
+	case *ast.CallExpr:
+		fn := lint.FuncObjOf(pass.TypesInfo, e)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path() {
+			return nil
+		}
+		decl := declOf(pass, fn)
+		if decl == nil || decl.Body == nil {
+			return nil
+		}
+		var lits []*ast.FuncLit
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				for _, r := range ret.Results {
+					if lit, ok := ast.Unparen(r).(*ast.FuncLit); ok {
+						lits = append(lits, lit)
+					}
+				}
+			}
+			// Returns inside the collected literals belong to the confined
+			// body, not the factory; don't descend.
+			_, isLit := n.(*ast.FuncLit)
+			return !isLit
+		})
+		return lits
+	}
+	return nil
+}
+
+// declOf finds fn's declaration in the package being analyzed.
+func declOf(pass *lint.Pass, fn *types.Func) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && pass.TypesInfo.Defs[fd.Name] == types.Object(fn) {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// checkConfined walks one confined body (nested literals included — they
+// run on the same shard) and reports contract violations.
+func checkConfined(pass *lint.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, lit, n.X)
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+// checkWrite flags an assignment target whose base variable is captured
+// from outside the confined literal.
+func checkWrite(pass *lint.Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	base := lhs
+	for {
+		switch e := ast.Unparen(base).(type) {
+		case *ast.SelectorExpr:
+			base = e.X
+		case *ast.IndexExpr:
+			base = e.X
+		case *ast.StarExpr:
+			base = e.X
+		default:
+			id, ok := e.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || v.IsField() {
+				return
+			}
+			if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+				pass.Reportf(id.Pos(), "confined activity mutates captured state %q: cross-shard data must flow through sim.Mailbox sends or slot-sharded metrics (DESIGN.md §13)", id.Name)
+			}
+			return
+		}
+	}
+}
+
+// checkCall flags the banned callables inside a confined body.
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	fn := lint.FuncObjOf(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if lint.IsMethod(fn, simPkg, "Env", "Rand") {
+		pass.Reportf(call.Pos(), "confined activity calls Env.Rand (the simulation-global stream, order-dependent): use Env.LocalRand, seeded per (seed, shard, spawn ordinal)")
+		return
+	}
+	for _, u := range unsharded {
+		if fn.Name() == u.method && lint.IsMethod(fn, metricsPkg, u.typ, u.method) {
+			pass.Reportf(call.Pos(), "confined activity uses unsharded %s.%s: use %s with the slot from sim.WorkerSlot(env)", u.typ, u.method, u.repl)
+			return
+		}
+	}
+	if lint.IsMethod(fn, metricsPkg, "Gauge", "Set") || lint.IsMethod(fn, metricsPkg, "Gauge", "Add") {
+		pass.Reportf(call.Pos(), "confined activity mutates a Gauge (last-writer-wins, not sharded): report through a sim.Mailbox to an exclusive collector instead")
+	}
+}

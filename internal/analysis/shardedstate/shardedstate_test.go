@@ -1,0 +1,12 @@
+package shardedstate_test
+
+import (
+	"testing"
+
+	"sprite/internal/analysis/linttest"
+	"sprite/internal/analysis/shardedstate"
+)
+
+func TestShardedstate(t *testing.T) {
+	linttest.Run(t, shardedstate.Analyzer, "a")
+}

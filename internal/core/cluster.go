@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 	"time"
 
 	"sprite/internal/fs"
@@ -10,6 +13,23 @@ import (
 	"sprite/internal/rpc"
 	"sprite/internal/sim"
 )
+
+// applyEnvParallel lets CI suites opt whole test binaries into the parallel
+// kernel without touching scenario code: SPRITE_SIM_PARALLEL=1 (or =true)
+// enables it with GOMAXPROCS workers, SPRITE_SIM_PARALLEL=N (N>1) pins the
+// worker count, unset/0/false leaves the configured kernel alone. Because
+// the parallel kernel commits the serial order bit-for-bit, this is safe to
+// set across any suite — it is how `make race` audits the worker handoffs.
+func applyEnvParallel(p *SimParams) {
+	v := os.Getenv("SPRITE_SIM_PARALLEL")
+	if v == "" || v == "0" || v == "false" {
+		return
+	}
+	p.Parallel = true
+	if n, err := strconv.Atoi(v); err == nil && n > 1 {
+		p.Workers = n
+	}
+}
 
 // Options configures a simulated Sprite cluster.
 type Options struct {
@@ -116,11 +136,25 @@ func NewCluster(opts Options) (*Cluster, error) {
 	if opts.Params != nil {
 		params = *opts.Params
 	}
+	applyEnvParallel(&params.Sim)
 	s := sim.New(opts.Seed)
+	look := params.Sim.Lookahead
+	if look <= 0 {
+		look = params.Net.Latency
+	}
+	s.SetLookahead(look)
 	net := netsim.New(s, params.Net)
 	transport := rpc.NewTransport(s, net, params.RPC)
 	fsys := fs.New(s, transport, params.FS)
 	reg := metrics.New()
+	if params.Sim.Parallel {
+		w := params.Sim.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		s.ConfigureParallel(w)
+		reg.EnableSharding(w)
+	}
 	transport.SetMetrics(reg)
 	fsys.SetMetrics(reg)
 

@@ -37,6 +37,14 @@ type Config struct {
 	// HostselSnapshot, when non-empty, makes E16 write its per-selector
 	// results to this file as JSON.
 	HostselSnapshot string
+	// Hosts overrides the primary scale knob of the scale-aware
+	// experiments: E16's fleet size (replacing the standard sweep) and
+	// E17's load-daemon count. Zero keeps each experiment's default.
+	Hosts int
+	// WallclockSnapshot, when non-empty, makes E17 write its per-kernel
+	// wallclock rows to this file as JSON (the BENCH_wallclock.json CI
+	// artifact).
+	WallclockSnapshot string
 }
 
 // Table is one reproduced table or figure, as labeled rows.
@@ -165,6 +173,7 @@ func All() []Runner {
 		{ID: "E14", Name: "a day of load sharing", Run: E14DayInTheLife},
 		{ID: "E15", Name: "crash recovery and failover", Run: E15CrashRecovery},
 		{ID: "E16", Name: "selector shoot-out under churn", Run: E16SelectorShootout},
+		{ID: "E17", Name: "parallel kernel wallclock speedup", Run: E17ParallelWallclock},
 	}
 }
 

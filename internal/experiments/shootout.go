@@ -244,6 +244,12 @@ func E16SelectorShootout(cfg Config) (*Table, error) {
 	} else if cfg.Fleet10k {
 		sizes = append(sizes, 10000)
 	}
+	if cfg.Hosts > 0 {
+		// Explicit scale override (spritesim -hosts): run exactly that one
+		// fleet size — how the 10k CI tier invokes the combined-churn
+		// schedule without paying for the standard sweep first.
+		sizes = []int{cfg.Hosts}
+	}
 	var rows []*e16Row
 	for _, n := range sizes {
 		for which := 0; which < 4; which++ {

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sprite/internal/core"
+	"sprite/internal/sim"
+	"sprite/internal/workload"
+)
+
+// E17 is the repo's only wallclock experiment: it measures how fast the
+// simulator itself runs, not what the simulated cluster does. The workload
+// is fixed — a migration-driving cluster plane plus a fleet of confined
+// per-host load daemons — and is executed under the serial oracle and the
+// conservative parallel kernel at increasing worker counts. Because the
+// parallel kernel commits the identical event order, every run must produce
+// the same order digest; the only thing allowed to vary is the wallclock,
+// which is the point. This file is exempt from the walltime lint for
+// exactly that reason.
+
+// e17Row is one kernel configuration's measurement, and the JSON shape of
+// the BENCH_wallclock.json artifact.
+type e17Row struct {
+	Kernel  string  `json:"kernel"` // "serial" or "parallel"
+	Workers int     `json:"workers"`
+	Hosts   int     `json:"hosts"`
+	Cores   int     `json:"cores"` // runtime.NumCPU() — speedup is bounded by this
+	Reps    int     `json:"reps"`
+	WallMs  float64 `json:"wall_ms"` // best of Reps
+	Speedup float64 `json:"speedup_vs_serial"`
+	Digest  string  `json:"order_digest"`
+}
+
+// e17Shape fixes the workload dimensions for one scale.
+type e17Shape struct {
+	hosts int // confined load daemons, one shard each
+	ticks int // bounded daemon lifetime so the run quiesces
+}
+
+// e17Measure runs the fixed workload once under the given kernel
+// (workers == 0 selects the serial oracle) and returns the wallclock and
+// the committed-order digest.
+func e17Measure(seed int64, workers int, shape e17Shape) (time.Duration, uint64, error) {
+	params := core.DefaultParams()
+	if workers > 0 {
+		params.Sim = core.SimParams{Parallel: true, Workers: workers}
+	}
+	c, err := core.NewCluster(core.Options{Workstations: 4, FileServers: 1, Seed: seed, Params: &params})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := c.SeedBinary("/bin/prog", 64<<10); err != nil {
+		return 0, 0, err
+	}
+	workload.StartBgLoad(c.Sim(), c.Metrics(), workload.BgLoadConfig{
+		Hosts:       shape.hosts,
+		Ticks:       shape.ticks,
+		ReportEvery: 10,
+	})
+	// The exclusive plane stays busy too: a hopper migrating around the
+	// cluster for the daemons' whole lifetime, so the measurement includes
+	// the serial fraction a real experiment would carry.
+	c.Boot("hopper", func(env *sim.Env) error {
+		p, err := c.Workstation(0).StartProcess(env, "hop", func(ctx *core.Ctx) error {
+			for i := 0; ; i++ {
+				if err := ctx.Compute(500 * time.Millisecond); err != nil {
+					return nil
+				}
+				if err := ctx.Migrate(c.Workstation((i + 1) % 4).Host()); err != nil {
+					return nil
+				}
+				if ctx.Now() > time.Duration(shape.ticks)*75*time.Millisecond {
+					return nil
+				}
+			}
+		}, core.ProcConfig{Binary: "/bin/prog", CodePages: 2, HeapPages: 8, StackPages: 1})
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	start := time.Now()
+	if err := c.Run(0); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), c.Sim().OrderDigest(), nil
+}
+
+// e17Best returns the best-of-reps wallclock (the standard way to strip
+// scheduler noise from a throughput measurement) plus the digest, which
+// must not vary across reps.
+func e17Best(seed int64, workers, reps int, shape e17Shape) (time.Duration, uint64, error) {
+	var best time.Duration
+	var digest uint64
+	for r := 0; r < reps; r++ {
+		wall, d, err := e17Measure(seed, workers, shape)
+		if err != nil {
+			return 0, 0, err
+		}
+		if r == 0 {
+			best, digest = wall, d
+			continue
+		}
+		if d != digest {
+			return 0, 0, fmt.Errorf("E17: digest changed across reps: %#x vs %#x", d, digest)
+		}
+		if wall < best {
+			best = wall
+		}
+	}
+	return best, digest, nil
+}
+
+// E17ParallelWallclock measures the conservative parallel kernel's
+// multi-core speedup on the combined cluster + per-host-daemon workload and
+// proves, in the same run, that worker count never changes the committed
+// event order. Quick shrinks the fleet; Config.Hosts overrides it.
+// Config.WallclockSnapshot writes the rows as BENCH_wallclock.json.
+func E17ParallelWallclock(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:       "E17",
+		Title:    "Parallel kernel wallclock speedup (fixed workload, varying kernel)",
+		PaperRef: "conservative parallel DES over the Sprite cluster model; order is a pure function of (program, seed)",
+		Columns:  []string{"kernel", "workers", "hosts", "wall ms", "speedup", "digest"},
+	}
+	shape := e17Shape{hosts: 1000, ticks: 300}
+	reps := 3
+	if cfg.Quick {
+		shape, reps = e17Shape{hosts: 64, ticks: 100}, 1
+	}
+	if cfg.Hosts > 0 {
+		shape.hosts = cfg.Hosts
+	}
+	workerCounts := []int{1, 2, 4}
+	if runtime.NumCPU() >= 8 {
+		workerCounts = append(workerCounts, 8)
+	}
+
+	serialWall, serialDigest, err := e17Best(cfg.Seed, 0, reps, shape)
+	if err != nil {
+		return nil, err
+	}
+	cores := runtime.NumCPU()
+	rows := []*e17Row{{
+		Kernel: "serial", Hosts: shape.hosts, Cores: cores, Reps: reps,
+		WallMs: float64(serialWall) / 1e6, Speedup: 1.0,
+		Digest: fmt.Sprintf("%#x", serialDigest),
+	}}
+	for _, w := range workerCounts {
+		wall, digest, err := e17Best(cfg.Seed, w, reps, shape)
+		if err != nil {
+			return nil, err
+		}
+		if digest != serialDigest {
+			return nil, fmt.Errorf("E17: workers=%d committed a different order (%#x) than serial (%#x) — kernel bug", w, digest, serialDigest)
+		}
+		rows = append(rows, &e17Row{
+			Kernel: "parallel", Workers: w, Hosts: shape.hosts, Cores: cores, Reps: reps,
+			WallMs: float64(wall) / 1e6, Speedup: float64(serialWall) / float64(wall),
+			Digest: fmt.Sprintf("%#x", digest),
+		})
+	}
+	for _, r := range rows {
+		t.AddRow(r.Kernel, fmt.Sprintf("%d", r.Workers), fmt.Sprintf("%d", r.Hosts),
+			fmt.Sprintf("%.1f", r.WallMs), fmt.Sprintf("%.2fx", r.Speedup), r.Digest)
+	}
+	t.AddNote("identical digests across every row: worker count is not an input to the simulation")
+	t.AddNote("measured on %d cores; speedup is meaningful only when cores >= workers", cores)
+	if cfg.WallclockSnapshot != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.WallclockSnapshot, data, 0o644); err != nil {
+			return nil, err
+		}
+		t.AddNote("wallclock rows written to %s", cfg.WallclockSnapshot)
+	}
+	return t, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestE17DigestsAgree runs the wallclock experiment's workload at quick
+// scale and requires every kernel configuration to commit the identical
+// event order — the deterministic half of E17, separated from the
+// wallclock half so it can run anywhere, including single-core CI.
+func TestE17DigestsAgree(t *testing.T) {
+	shape := e17Shape{hosts: 32, ticks: 60}
+	_, want, err := e17Measure(5, 0, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		_, got, err := e17Measure(5, w, shape)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d digest %#x, serial %#x", w, got, want)
+		}
+	}
+}
+
+// TestE17QuickTable exercises the full driver (table + JSON artifact) at
+// quick scale.
+func TestE17QuickTable(t *testing.T) {
+	snap := t.TempDir() + "/BENCH_wallclock.json"
+	tbl, err := E17ParallelWallclock(Config{Seed: 7, Quick: true, WallclockSnapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("expected serial + >=3 parallel rows, got %d", len(tbl.Rows))
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("artifact is empty")
+	}
+}
+
+// TestParallelSpeedupGate is E17's acceptance gate: on a machine with at
+// least 4 cores, the parallel kernel at 4 workers must run the 1000-host
+// workload at least 2x faster than the serial oracle. The gate is opt-in
+// (SPRITE_WALLCLOCK_GATE=1, set by the CI wallclock job) because wallclock
+// assertions are meaningless on loaded or single-core machines.
+func TestParallelSpeedupGate(t *testing.T) {
+	if os.Getenv("SPRITE_WALLCLOCK_GATE") == "" {
+		t.Skip("set SPRITE_WALLCLOCK_GATE=1 to enforce the speedup gate")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 cores for a 4-worker speedup gate, have %d", runtime.NumCPU())
+	}
+	shape := e17Shape{hosts: 1000, ticks: 300}
+	serial, sd, err := e17Best(7, 0, 3, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, pd, err := e17Best(7, 4, 3, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd != pd {
+		t.Fatalf("digest mismatch: serial %#x parallel %#x", sd, pd)
+	}
+	speedup := float64(serial) / float64(par)
+	t.Logf("serial %v, parallel(4) %v, speedup %.2fx on %d cores", serial, par, speedup, runtime.NumCPU())
+	if speedup < 2.0 {
+		t.Fatalf("speedup %.2fx below the 2x gate (serial %v, parallel %v)", speedup, serial, par)
+	}
+}

@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sprite/internal/core"
+	"sprite/internal/fs"
+	"sprite/internal/sim"
+	"sprite/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the lockstep golden under testdata/")
+
+// lockstepSnapshot exercises the lookahead-collapse edge case: a
+// zero-latency network gives the conservative kernel zero lookahead, so
+// every parallel window degenerates to a single committed event (lockstep)
+// while confined background daemons still ride the worker path. The
+// snapshot captures the committed-order digest, the collector state, and
+// the full metrics rendering.
+func lockstepSnapshot(t *testing.T, workers int) string {
+	t.Helper()
+	params := core.DefaultParams()
+	params.Net.Latency = 0
+	if workers > 0 {
+		params.Sim = core.SimParams{Parallel: true, Workers: workers}
+	}
+	c, err := core.NewCluster(core.Options{Workstations: 2, FileServers: 1, Seed: 11, Params: &params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Sim().Lookahead(); got != 0 {
+		t.Fatalf("zero-latency link produced lookahead %v, want 0 (horizon collapse not engaged)", got)
+	}
+	if err := c.SeedBinary("/bin/prog", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	bg := workload.StartBgLoad(c.Sim(), c.Metrics(), workload.BgLoadConfig{
+		Hosts: 4, ReportEvery: 5, Ticks: 30,
+	})
+	src, dst := c.Workstation(0), c.Workstation(1)
+	c.Boot("boot", func(env *sim.Env) error {
+		p, err := src.StartProcess(env, "lockstep", func(ctx *core.Ctx) error {
+			if _, err := ctx.Open("/data/ls", fs.ReadWriteMode, fs.OpenOptions{Create: true}); err != nil {
+				return err
+			}
+			if err := ctx.TouchHeap(0, 8, true); err != nil {
+				return err
+			}
+			return ctx.Migrate(dst.Host())
+		}, core.ProcConfig{Binary: "/bin/prog", CodePages: 2, HeapPages: 8, StackPages: 1})
+		if err != nil {
+			return err
+		}
+		_, err = p.Exited().Wait(env)
+		return err
+	})
+	if err := c.Run(0); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if n := c.Sim().LiveActivities(); n != 0 {
+		t.Fatalf("workers=%d leaked %d activities", workers, n)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "order=%#x bg_reports=%d t=%v\n", c.Sim().OrderDigest(), bg.Received(), c.Sim().Now())
+	b.WriteString(c.MetricsSnapshot().Text())
+	return b.String()
+}
+
+// TestGoldenLockstepZeroLatency pins the horizon-collapse golden: serial
+// and parallel at several worker counts must render the identical snapshot,
+// and that snapshot is frozen under testdata/ so the fallback-to-lockstep
+// path cannot silently change shape.
+func TestGoldenLockstepZeroLatency(t *testing.T) {
+	got := lockstepSnapshot(t, 0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		if par := lockstepSnapshot(t, workers); par != got {
+			t.Fatalf("workers=%d diverged from serial under zero lookahead:\n--- got ---\n%s\n--- want ---\n%s", workers, par, got)
+		}
+	}
+	path := filepath.Join("testdata", "lockstep_zero_latency.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("lockstep snapshot changed vs %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

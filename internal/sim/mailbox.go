@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mailbox is the ordered cross-shard communication primitive of the parallel
+// kernel. A send from any shard is delivered to the mailbox's queue after a
+// fixed virtual-time delay; delivery runs as a scheduler event on the
+// exclusive shard, so arrivals are totally ordered by (time, sequence) and
+// identical under both kernels.
+//
+// The delay is the conservative lookahead contract: when the sender is a
+// confined activity, the delay must be at least the simulation's declared
+// lookahead (SetLookahead), which guarantees the delivery lands at or beyond
+// the current window's horizon — never inside work that has already run.
+// Both kernels enforce the contract, so a program that violates it fails
+// under the serial oracle too, not only when parallelism is enabled.
+//
+// Receivers block with Recv. All receivers of one mailbox must live on the
+// same shard (or on shard 0): the underlying queue's waiter list is not
+// itself sharded.
+type Mailbox struct {
+	sim   *Simulation
+	q     *Queue
+	delay time.Duration
+}
+
+// NewMailbox returns a mailbox whose sends deliver after delay.
+func NewMailbox(s *Simulation, delay time.Duration) *Mailbox {
+	if delay < 0 {
+		delay = 0
+	}
+	return &Mailbox{sim: s, q: NewQueue(s), delay: delay}
+}
+
+// Delay returns the mailbox's delivery delay.
+func (m *Mailbox) Delay() time.Duration { return m.delay }
+
+// Send posts v for delivery after the mailbox delay. It never blocks.
+func (m *Mailbox) Send(env *Env, v any) {
+	s := m.sim
+	if env.act.shard != 0 && m.delay < s.lookahead {
+		panic(fmt.Sprintf("sim: Mailbox delay %v below lookahead %v on a confined send; the delivery could land inside an already-running window", m.delay, s.lookahead))
+	}
+	if w := env.act.ctxw; w != nil {
+		w.cur.children = append(w.cur.children, childEntry{
+			mail: &mailEntry{m: m, v: v, at: w.now + m.delay},
+		})
+		return
+	}
+	s.schedule(env.Now()+m.delay, nil, func() { m.deliver(v) })
+}
+
+func (m *Mailbox) deliver(v any) { m.q.Send(v) }
+
+// Recv blocks until a message is delivered and returns it. It returns
+// ErrStopped if the mailbox is closed or the simulation stops.
+func (m *Mailbox) Recv(env *Env) (any, error) { return m.q.Recv(env) }
+
+// Len returns the number of delivered, unconsumed messages.
+func (m *Mailbox) Len() int { return m.q.Len() }
+
+// Close wakes all waiting receivers with ErrStopped and discards future
+// deliveries. Close is an exclusive operation.
+func (m *Mailbox) Close() {
+	m.sim.exclusiveOnly("Mailbox.Close")
+	m.q.Close()
+}

@@ -1,0 +1,399 @@
+package sim
+
+// Conservative parallel kernel (DESIGN.md §13).
+//
+// The event heap is split into an exclusive shard 0 — every activity spawned
+// with Spawn, which keeps the one-at-a-time serial discipline — and confined
+// shards (SpawnOn with shard > 0) whose activities may be dispatched
+// concurrently. The loop alternates between two modes:
+//
+//   - The head event belongs to shard 0 (or is a scheduler callback): it is
+//     dispatched exclusively, exactly as the serial kernel would.
+//   - The head event belongs to a confined shard: the loop peels off the
+//     maximal committed prefix of confined events with at < horizon, where
+//     horizon = head.at + lookahead, further bounded by the first exclusive
+//     event (nothing may be reordered past it) and by the run limit. The
+//     prefix is partitioned by shard onto workers; each worker dispatches its
+//     shards' chains in (at, seq) order, running events it creates locally
+//     (timers, wakes, spawns) while they stay below the horizon. Lookahead
+//     zero collapses the window to a single event — lockstep — so the kernel
+//     degrades to serial order rather than to nondeterminism.
+//
+// Workers never touch shared simulation state. Every effect of an in-window
+// dispatch (scheduled events, spawns, mailbox posts, trace emissions) is
+// buffered on a per-event record. At the barrier, replay() walks the
+// committed events in (at, seq) order and performs the global half of each
+// effect — sequence-number assignment, activity admission, queue accounting,
+// trace flushing — exactly where the serial kernel would have. Because the
+// serial kernel assigns sequence numbers at schedule time, and every event
+// scheduled during a window necessarily sorts after every event that existed
+// when the window formed, replay reproduces the serial numbering, statistics,
+// and committed order bit for bit. Worker count and scheduling jitter cannot
+// leak into results: the shard→worker map is static and nothing a worker
+// does escapes its buffers until replay.
+
+import (
+	"container/heap"
+	"time"
+)
+
+// provSeqBase is the provisional sequence-number floor for events created
+// inside a window, before replay assigns their real numbers. Real sequence
+// numbers would need ~10^12 committed events to reach it, so provisional
+// events always sort after same-timestamp committed ones — exactly the
+// serial kernel's schedule-time ordering.
+const provSeqBase = uint64(1) << 40
+
+// dispatchRec buffers the effects of one in-window dispatch until replay.
+type dispatchRec struct {
+	children []childEntry // schedule effects, in the order they were made
+	traces   []traceEntry // Env.Emit output, flushed at the barrier
+	finished bool         // the activity completed during this dispatch
+}
+
+// childEntry is one buffered schedule effect: a locally created event
+// (timer, wake, or a spawn's first resume) or a mailbox post.
+type childEntry struct {
+	ev    *event
+	spawn *activity // set when ev is a freshly spawned activity's first resume
+	mail  *mailEntry
+}
+
+type mailEntry struct {
+	m  *Mailbox
+	v  any
+	at time.Duration
+}
+
+type traceEntry struct {
+	at           time.Duration
+	kind, detail string
+}
+
+// parKernel is the parallel dispatcher attached to a Simulation by
+// ConfigureParallel.
+type parKernel struct {
+	s        *Simulation
+	nworkers int
+	workers  []*worker
+	done     chan struct{}
+	inWindow bool
+	window   []*event  // scratch: the current committed prefix
+	frontier eventHeap // scratch: replay ordering heap
+}
+
+// worker dispatches the confined shards mapped to it. Each shard maps to
+// exactly one worker (statically, by shard number), so one shard's events
+// are always executed sequentially in (at, seq) order even though different
+// shards proceed concurrently.
+type worker struct {
+	p       *parKernel
+	idx     int
+	local   eventHeap // assigned window events + locally created ones
+	counter uint64    // provisional sequence counter
+	horizon time.Duration
+	now     time.Duration // timestamp of the event being dispatched
+	cur     *dispatchRec  // record of the event being dispatched
+	work    chan struct{}
+}
+
+// ConfigureParallel switches the simulation to the conservative parallel
+// kernel with the given worker count (minimum 1). The committed event order
+// is identical to the serial kernel for any worker count; only wall-clock
+// time changes. Call before Run, together with SetLookahead.
+func (s *Simulation) ConfigureParallel(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	s.par = &parKernel{s: s, nworkers: workers}
+}
+
+// Parallel reports whether the parallel kernel is configured.
+func (s *Simulation) Parallel() bool { return s.par != nil }
+
+// Workers returns the configured worker count (0 under the serial kernel).
+func (s *Simulation) Workers() int {
+	if s.par == nil {
+		return 0
+	}
+	return s.par.nworkers
+}
+
+// WorkerSlot returns a stable 1-based index of the worker currently
+// dispatching env's activity, or 0 when the activity is running exclusively
+// (serial kernel, shard 0, or scheduler context). Sharded metrics use it to
+// pick a contention-free cell; slot 0 is the shared base cell.
+func WorkerSlot(env *Env) int {
+	if w := env.act.ctxw; w != nil {
+		return w.idx + 1
+	}
+	return 0
+}
+
+// workerFor maps a confined shard to its worker.
+func (p *parKernel) workerFor(shard int) *worker {
+	return p.workers[(shard-1)%len(p.workers)]
+}
+
+func (p *parKernel) start() {
+	p.workers = make([]*worker, p.nworkers)
+	p.done = make(chan struct{}, p.nworkers)
+	for i := range p.workers {
+		w := &worker{p: p, idx: i, work: make(chan struct{})}
+		p.workers[i] = w
+		go w.run()
+	}
+}
+
+func (p *parKernel) stopWorkers() {
+	for _, w := range p.workers {
+		close(w.work)
+	}
+	p.workers = nil
+	p.done = nil
+}
+
+// runParallel is Run's main loop under the parallel kernel.
+func (s *Simulation) runParallel(limit time.Duration) {
+	p := s.par
+	p.start()
+	defer p.stopWorkers()
+	for len(s.queue) > 0 && !s.stopped {
+		head := s.queue[0]
+		if head.act == nil && head.fn == nil {
+			heap.Pop(&s.queue)
+			s.release(head)
+			continue
+		}
+		if limit > 0 && head.at > limit {
+			heap.Pop(&s.queue)
+			s.release(head)
+			s.now = limit
+			return
+		}
+		if head.act == nil || head.act.shard == 0 {
+			// Exclusive event: the serial kernel's dispatch, verbatim.
+			ev := heap.Pop(&s.queue).(*event)
+			at, seq, act, fn := ev.at, ev.seq, ev.act, ev.fn
+			s.release(ev)
+			if at > s.now {
+				s.now = at
+			}
+			s.stats.EventsDispatched++
+			s.noteCommit(at, seq)
+			if fn != nil {
+				fn()
+			}
+			if act != nil {
+				s.dispatch(act)
+			}
+			continue
+		}
+		p.runWindow(limit)
+	}
+}
+
+// runWindow peels the maximal committed prefix of confined events off the
+// queue, dispatches it across the workers, and replays the buffered effects.
+func (p *parKernel) runWindow(limit time.Duration) {
+	s := p.s
+	head := heap.Pop(&s.queue).(*event)
+	window := append(p.window[:0], head)
+	horizon := head.at + s.lookahead
+	if limit > 0 && horizon > limit+1 {
+		// Serial would drop everything past the limit; confined chains must
+		// not run ahead of it either.
+		horizon = limit + 1
+	}
+	for len(s.queue) > 0 {
+		h := s.queue[0]
+		if h.at >= horizon {
+			break
+		}
+		if h.act != nil || h.fn != nil {
+			if h.act == nil || h.act.shard == 0 {
+				// Exclusive blocker: nothing committed in this window may
+				// reorder past it, so it bounds how far locally created
+				// events may run. Same-timestamp confined events already in
+				// the prefix keep their smaller sequence numbers and still
+				// run; same-timestamp locally created ones sort after the
+				// blocker and wait.
+				horizon = h.at
+				break
+			}
+		}
+		window = append(window, heap.Pop(&s.queue).(*event))
+	}
+
+	for _, ev := range window {
+		if ev.act != nil {
+			p.workerFor(ev.act.shard).pushInitial(ev)
+		} else {
+			ev.consumed = true // cancelled before the window formed
+		}
+	}
+	p.inWindow = true
+	active := 0
+	for _, w := range p.workers {
+		if len(w.local) > 0 {
+			w.horizon = horizon
+			active++
+		}
+	}
+	for _, w := range p.workers {
+		if len(w.local) > 0 {
+			w.work <- struct{}{}
+		}
+	}
+	for i := 0; i < active; i++ {
+		<-p.done
+	}
+	p.inWindow = false
+	for _, w := range p.workers {
+		// Whatever a worker did not consume was locally created past the
+		// horizon; replay re-homes those through the dispatch records.
+		w.local = w.local[:0]
+		w.counter = 0
+	}
+	s.replay(window)
+	p.window = window[:0]
+}
+
+// pushInitial assigns a committed window event to the worker that owns its
+// shard.
+func (w *worker) pushInitial(ev *event) {
+	heap.Push(&w.local, ev)
+}
+
+// run is the worker loop: dispatch this worker's share of the window in
+// (at, seq) order, following locally created events while they stay below
+// the horizon.
+func (w *worker) run() {
+	for range w.work {
+		for len(w.local) > 0 {
+			top := w.local[0]
+			if top.seq >= provSeqBase && top.at >= w.horizon {
+				// A locally created event at or past the horizon: its real
+				// sequence number will sort it after the window's boundary
+				// event, so it must wait for a later window. Everything
+				// still queued locally sorts after it; committed window
+				// events (real seq, at <= horizon) have all been popped.
+				break
+			}
+			ev := heap.Pop(&w.local).(*event)
+			ev.consumed = true
+			if ev.act == nil {
+				continue // cancelled while queued
+			}
+			a := ev.act
+			if a.state == stateDone {
+				continue
+			}
+			rec := &dispatchRec{}
+			ev.rec = rec
+			w.now = ev.at
+			a.wake = nil
+			a.state = stateRunning
+			a.ctxw = w
+			w.cur = rec
+			a.resume <- struct{}{}
+			<-a.yield
+			a.ctxw = nil
+			w.cur = nil
+			if a.state == stateDone {
+				rec.finished = true
+			}
+		}
+		w.p.done <- struct{}{}
+	}
+}
+
+// scheduleLocal buffers a schedule effect made inside a window: the event
+// joins this worker's local order immediately (it may still run in this
+// window if it stays below the horizon) and is recorded for replay.
+func (w *worker) scheduleLocal(at time.Duration, a *activity) *event {
+	w.counter++
+	ev := &event{at: at, seq: provSeqBase + w.counter, act: a}
+	heap.Push(&w.local, ev)
+	w.cur.children = append(w.cur.children, childEntry{ev: ev})
+	return ev
+}
+
+// noteSpawn marks the most recent schedule effect as a spawn, so replay
+// admits the activity (id assignment, liveness) in committed order.
+func (w *worker) noteSpawn(ev *event, a *activity) {
+	cs := w.cur.children
+	if len(cs) == 0 || cs[len(cs)-1].ev != ev {
+		panic("sim: internal: spawn effect out of order")
+	}
+	cs[len(cs)-1].spawn = a
+}
+
+// replay commits a window: walk its events in (at, seq) order and perform
+// the global half of every buffered effect exactly where the serial kernel
+// would have. pending mirrors the serial kernel's queue length through the
+// window so MaxQueueDepth matches bit for bit.
+func (s *Simulation) replay(window []*event) {
+	p := s.par
+	fr := append(p.frontier[:0], window...)
+	p.frontier = fr
+	heap.Init(&p.frontier)
+	pending := len(s.queue) + len(p.frontier)
+	for len(p.frontier) > 0 {
+		ev := heap.Pop(&p.frontier).(*event)
+		pending--
+		if ev.act == nil && ev.fn == nil {
+			s.release(ev)
+			continue
+		}
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		s.stats.EventsDispatched++
+		s.noteCommit(ev.at, ev.seq)
+		if rec := ev.rec; rec != nil {
+			if s.Trace != nil {
+				s.Trace("t=%v run %s", ev.at, ev.act.name)
+			}
+			s.stats.ContextSwitches++
+			for i := range rec.children {
+				ch := &rec.children[i]
+				if ch.mail != nil {
+					m, v := ch.mail.m, ch.mail.v
+					s.seq++
+					mev := s.newEvent(ch.mail.at, s.seq, nil, func() { m.deliver(v) })
+					heap.Push(&s.queue, mev)
+					pending++
+					if pending > s.stats.MaxQueueDepth {
+						s.stats.MaxQueueDepth = pending
+					}
+					continue
+				}
+				if ch.spawn != nil {
+					s.admit(ch.spawn)
+				}
+				s.seq++
+				ch.ev.seq = s.seq
+				pending++
+				if pending > s.stats.MaxQueueDepth {
+					s.stats.MaxQueueDepth = pending
+				}
+				if ch.ev.consumed {
+					heap.Push(&p.frontier, ch.ev)
+				} else {
+					heap.Push(&s.queue, ch.ev)
+				}
+			}
+			if s.traceSink != nil {
+				for _, te := range rec.traces {
+					s.traceSink(te.at, te.kind, te.detail)
+				}
+			}
+			if rec.finished {
+				s.reap(ev.act)
+			}
+		}
+		s.release(ev)
+	}
+	p.frontier = p.frontier[:0]
+}

@@ -1,0 +1,401 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Equivalence harness: run one deterministic confined-shard program under a
+// kernel configuration and fingerprint everything observable — committed
+// order digest, scheduler stats, trace bytes, errors, the clock, and the
+// messages the exclusive supervisor collected from the shards' mailboxes.
+// ---------------------------------------------------------------------------
+
+type kernelFP struct {
+	digest uint64
+	stats  Stats
+	trace  string
+	errs   string
+	now    time.Duration
+	inbox  string
+	runErr string
+}
+
+func (fp kernelFP) String() string {
+	return fmt.Sprintf("digest=%016x stats=%+v now=%v runErr=%q\nerrs=%q\ninbox=%q\ntrace=%q",
+		fp.digest, fp.stats, fp.now, fp.runErr, fp.errs, fp.inbox, fp.trace)
+}
+
+type progCfg struct {
+	seed      int64
+	shards    int
+	daemons   int // daemons per shard
+	lookahead time.Duration
+	limit     time.Duration
+}
+
+// confinedProg builds a workload exercising every confined-contract
+// primitive: LocalRand-paced sleeps, same-shard spawns that terminate,
+// same-shard Queue/Future/Resource handoffs, trace emission, and
+// cross-shard mailbox sends into an exclusive supervisor that itself wakes
+// periodically (so exclusive blockers interleave with parallel windows).
+func runConfinedProg(cfg progCfg, workers int) kernelFP {
+	s := New(cfg.seed)
+	s.SetLookahead(cfg.lookahead)
+	if workers > 0 {
+		s.ConfigureParallel(workers)
+	}
+	var traceB strings.Builder
+	s.SetTraceSink(func(at time.Duration, kind, detail string) {
+		fmt.Fprintf(&traceB, "%d %s %s\n", at, kind, detail)
+	})
+
+	mbox := NewMailbox(s, cfg.lookahead+time.Millisecond)
+	var inboxB strings.Builder
+
+	// Exclusive supervisor: drains the mailbox, and its periodic wakeups act
+	// as shard-0 blockers that bound every window.
+	s.Spawn("supervisor", func(env *Env) error {
+		for {
+			v, err := mbox.Recv(env)
+			if err != nil {
+				return nil
+			}
+			fmt.Fprintf(&inboxB, "%v\n", v)
+		}
+	})
+	s.Spawn("ticker", func(env *Env) error {
+		for i := 0; i < 20; i++ {
+			if err := env.Sleep(7 * time.Millisecond); err != nil {
+				return nil
+			}
+		}
+		return nil
+	})
+
+	for sh := 1; sh <= cfg.shards; sh++ {
+		shard := sh
+		// Shard-local plumbing shared by this shard's daemons.
+		q := NewQueue(s)
+		res := NewResource(s, 1)
+		for d := 0; d < cfg.daemons; d++ {
+			di := d
+			s.SpawnOn(shard, fmt.Sprintf("daemon-%d-%d", shard, di), func(env *Env) error {
+				r := env.LocalRand()
+				for step := 0; ; step++ {
+					if err := env.Sleep(time.Duration(r.Intn(2000)+1) * time.Microsecond); err != nil {
+						return nil
+					}
+					switch r.Intn(6) {
+					case 0:
+						env.Emit("tick", fmt.Sprintf("%s step=%d", env.Name(), step))
+					case 1:
+						q.Send(fmt.Sprintf("%s-%d", env.Name(), step))
+					case 2:
+						if q.Len() > 0 {
+							if v, err := q.Recv(env); err == nil {
+								env.Emit("recv", fmt.Sprintf("%v", v))
+							} else {
+								return nil
+							}
+						}
+					case 3:
+						if err := res.Use(env, time.Duration(r.Intn(500))*time.Microsecond); err != nil {
+							return nil
+						}
+					case 4:
+						mbox.Send(env, fmt.Sprintf("%s@%d", env.Name(), env.Now()/time.Microsecond))
+					case 5:
+						// Short-lived same-shard child joined through a Future.
+						f := NewFuture(s)
+						env.Spawn(fmt.Sprintf("%s-child-%d", env.Name(), step), func(c *Env) error {
+							if err := c.Sleep(time.Duration(c.LocalRand().Intn(300)) * time.Microsecond); err != nil {
+								return err
+							}
+							f.Complete(step, nil)
+							return nil
+						})
+						if _, err := f.Wait(env); err != nil {
+							return nil
+						}
+					}
+				}
+			})
+		}
+	}
+
+	err := s.Run(cfg.limit)
+	fp := kernelFP{
+		digest: s.OrderDigest(),
+		stats:  s.Stats(),
+		now:    s.Now(),
+	}
+	if err != nil {
+		fp.runErr = err.Error()
+	}
+	// Drain so goroutines exit and completion errors are collected in the
+	// same deterministic order under both kernels.
+	s.Stop()
+	_ = s.Run(0)
+	fp.trace = traceB.String()
+	fp.inbox = inboxB.String()
+	if s.LiveActivities() != 0 {
+		fp.errs = fmt.Sprintf("leaked %d activities", s.LiveActivities())
+	}
+	return fp
+}
+
+func TestParallelMatchesSerialAcrossWorkerCounts(t *testing.T) {
+	cfg := progCfg{
+		seed:      42,
+		shards:    7,
+		daemons:   3,
+		lookahead: 500 * time.Microsecond,
+		limit:     120 * time.Millisecond,
+	}
+	want := runConfinedProg(cfg, 0) // serial oracle
+	if want.runErr != "" {
+		t.Fatalf("serial run failed: %v", want.runErr)
+	}
+	if want.stats.EventsDispatched == 0 || !strings.Contains(want.trace, "tick") {
+		t.Fatalf("oracle did no work: %v", want)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := runConfinedProg(cfg, workers)
+		if got != want {
+			t.Errorf("workers=%d diverged from serial:\n got: %v\nwant: %v", workers, got, want)
+		}
+	}
+}
+
+func TestParallelEquivalenceProperty(t *testing.T) {
+	// Quick-style sweep: many seeds and shapes, each compared across all
+	// worker counts. Shapes are derived from the seed so the corpus drifts
+	// as seeds grow.
+	seeds := 50
+	if testing.Short() {
+		seeds = 8
+	}
+	for i := 0; i < seeds; i++ {
+		cfg := progCfg{
+			seed:      int64(1000 + i*7919),
+			shards:    1 + i%9,
+			daemons:   1 + i%4,
+			lookahead: time.Duration(i%5) * 200 * time.Microsecond,
+			limit:     time.Duration(20+i%40) * time.Millisecond,
+		}
+		want := runConfinedProg(cfg, 0)
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := runConfinedProg(cfg, workers)
+			if got != want {
+				t.Fatalf("seed=%d shards=%d daemons=%d lookahead=%v workers=%d diverged:\n got: %v\nwant: %v",
+					cfg.seed, cfg.shards, cfg.daemons, cfg.lookahead, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestZeroLookaheadLockstep pins the horizon-collapse edge case: with a
+// zero-latency link the lookahead is zero, every window degenerates to a
+// single event (lockstep), and the parallel kernel must still match the
+// serial one bit for bit rather than deadlock or reorder.
+func TestZeroLookaheadLockstep(t *testing.T) {
+	cfg := progCfg{
+		seed:      7,
+		shards:    5,
+		daemons:   2,
+		lookahead: 0,
+		limit:     30 * time.Millisecond,
+	}
+	want := runConfinedProg(cfg, 0)
+	for _, workers := range []int{1, 4} {
+		got := runConfinedProg(cfg, workers)
+		if got != want {
+			t.Fatalf("lockstep workers=%d diverged:\n got: %v\nwant: %v", workers, got, want)
+		}
+	}
+}
+
+// TestLockstepGolden freezes the zero-lookahead committed order digest so a
+// future change to window formation cannot silently shift the fallback
+// path's schedule.
+func TestLockstepGolden(t *testing.T) {
+	cfg := progCfg{seed: 7, shards: 5, daemons: 2, lookahead: 0, limit: 30 * time.Millisecond}
+	serial := runConfinedProg(cfg, 0)
+	parallel := runConfinedProg(cfg, 4)
+	const wantDigest uint64 = 0xa921a4ed8ee07774
+	if serial.digest != wantDigest {
+		t.Errorf("serial lockstep digest changed: got %#x want %#x", serial.digest, wantDigest)
+	}
+	if parallel.digest != wantDigest {
+		t.Errorf("parallel lockstep digest changed: got %#x want %#x", parallel.digest, wantDigest)
+	}
+}
+
+func TestConfinedContractGuards(t *testing.T) {
+	t.Run("EnvRandPanicsOnConfined", func(t *testing.T) {
+		s := New(1)
+		var got error
+		s.SpawnOn(1, "confined", func(env *Env) error {
+			env.Rand()
+			return nil
+		})
+		if err := s.Run(0); err != nil {
+			got = err
+		}
+		if got == nil || !strings.Contains(got.Error(), "LocalRand") {
+			t.Fatalf("want LocalRand guard panic, got %v", got)
+		}
+	})
+	t.Run("CrossShardSpawnPanics", func(t *testing.T) {
+		s := New(1)
+		s.SpawnOn(1, "confined", func(env *Env) error {
+			env.SpawnOn(2, "other", func(*Env) error { return nil })
+			return nil
+		})
+		err := s.Run(0)
+		if err == nil || !strings.Contains(err.Error(), "foreign shard") {
+			t.Fatalf("want foreign-shard panic, got %v", err)
+		}
+	})
+	t.Run("CrossShardWakePanicsUnderSerialOracle", func(t *testing.T) {
+		s := New(1)
+		q := NewQueue(s)
+		s.SpawnOn(1, "receiver", func(env *Env) error {
+			_, err := q.Recv(env)
+			return err
+		})
+		s.SpawnOn(2, "sender", func(env *Env) error {
+			if err := env.Sleep(time.Millisecond); err != nil {
+				return err
+			}
+			q.Send("x") // same-instant wake across shards: contract violation
+			return nil
+		})
+		err := s.Run(0)
+		if err == nil || !strings.Contains(err.Error(), "Mailbox") {
+			t.Fatalf("want cross-shard wake panic under serial oracle, got %v", err)
+		}
+	})
+	t.Run("MailboxDelayBelowLookaheadPanics", func(t *testing.T) {
+		s := New(1)
+		s.SetLookahead(time.Millisecond)
+		m := NewMailbox(s, 100*time.Microsecond)
+		s.SpawnOn(1, "sender", func(env *Env) error {
+			m.Send(env, "too fast")
+			return nil
+		})
+		err := s.Run(0)
+		if err == nil || !strings.Contains(err.Error(), "lookahead") {
+			t.Fatalf("want lookahead contract panic, got %v", err)
+		}
+	})
+	t.Run("SimulationPrimitivesGuardedOnConfined", func(t *testing.T) {
+		s := New(1)
+		s.SpawnOn(1, "confined", func(env *Env) error {
+			env.Sim().Spawn("nope", func(*Env) error { return nil })
+			return nil
+		})
+		err := s.Run(0)
+		if err == nil || !strings.Contains(err.Error(), "must use their Env") {
+			t.Fatalf("want exclusive-only guard, got %v", err)
+		}
+	})
+}
+
+// TestMailboxCrossShard checks ordered cross-shard delivery: two confined
+// producers on different shards feed one exclusive consumer; arrival order
+// is a pure function of (time, seq) and identical under both kernels.
+func TestMailboxCrossShard(t *testing.T) {
+	run := func(workers int) string {
+		s := New(11)
+		s.SetLookahead(300 * time.Microsecond)
+		if workers > 0 {
+			s.ConfigureParallel(workers)
+		}
+		m := NewMailbox(s, 400*time.Microsecond)
+		var got strings.Builder
+		s.Spawn("consumer", func(env *Env) error {
+			for i := 0; i < 20; i++ {
+				v, err := m.Recv(env)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(&got, "%v;", v)
+			}
+			return nil
+		})
+		for sh := 1; sh <= 2; sh++ {
+			shard := sh
+			s.SpawnOn(shard, fmt.Sprintf("producer-%d", shard), func(env *Env) error {
+				r := env.LocalRand()
+				for i := 0; i < 10; i++ {
+					if err := env.Sleep(time.Duration(r.Intn(900)+100) * time.Microsecond); err != nil {
+						return err
+					}
+					m.Send(env, fmt.Sprintf("s%d-%d@%d", shard, i, env.Now()/time.Microsecond))
+				}
+				return nil
+			})
+		}
+		if err := s.Run(0); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return got.String()
+	}
+	want := run(0)
+	if !strings.Contains(want, "s1-0@") || !strings.Contains(want, "s2-0@") {
+		t.Fatalf("degenerate mailbox run: %q", want)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		if got := run(workers); got != want {
+			t.Fatalf("workers=%d mailbox order diverged:\n got %q\nwant %q", workers, got, want)
+		}
+	}
+}
+
+// TestParallelInterruptFromExclusive: fault-injection-style Interrupt of a
+// confined activity from exclusive context stays deterministic.
+func TestParallelInterruptFromExclusive(t *testing.T) {
+	boom := errors.New("boom")
+	run := func(workers int) string {
+		s := New(3)
+		s.SetLookahead(200 * time.Microsecond)
+		if workers > 0 {
+			s.ConfigureParallel(workers)
+		}
+		var log strings.Builder
+		victim := s.SpawnOn(1, "victim", func(env *Env) error {
+			for {
+				if err := env.Sleep(100 * time.Microsecond); err != nil {
+					fmt.Fprintf(&log, "victim unwound at %v: %v;", env.Now(), err)
+					return nil
+				}
+			}
+		})
+		s.Spawn("killer", func(env *Env) error {
+			if err := env.Sleep(5 * time.Millisecond); err != nil {
+				return err
+			}
+			victim.Interrupt(boom)
+			return nil
+		})
+		if err := s.Run(0); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return log.String()
+	}
+	want := run(0)
+	if !strings.Contains(want, "boom") {
+		t.Fatalf("interrupt not delivered: %q", want)
+	}
+	for _, workers := range []int{1, 4} {
+		if got := run(workers); got != want {
+			t.Fatalf("workers=%d interrupt diverged: got %q want %q", workers, got, want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestParallelRaceStress hammers the handoff machinery the race detector
+// must prove clean: many confined shards spread over many workers, each
+// shard's daemons fighting over shard-local Queue/Future/Resource objects
+// while every shard floods a cross-shard Mailbox into an exclusive
+// consumer, and an exclusive chaos activity interrupts confined victims
+// mid-window chain. Run under `go test -race` (make race) this is the
+// parallel kernel's memory-model audit; the final digests must still match
+// the serial oracle.
+func TestParallelRaceStress(t *testing.T) {
+	const (
+		shards  = 16
+		daemons = 3
+		limit   = 40 * time.Millisecond
+	)
+	run := func(workers int) (uint64, Stats) {
+		s := New(99)
+		s.SetLookahead(400 * time.Microsecond)
+		if workers > 0 {
+			s.ConfigureParallel(workers)
+		}
+		mbox := NewMailbox(s, 500*time.Microsecond)
+		s.Spawn("consumer", func(env *Env) error {
+			for {
+				if _, err := mbox.Recv(env); err != nil {
+					return nil
+				}
+			}
+		})
+
+		victims := make([]*Env, 0, shards)
+		for sh := 1; sh <= shards; sh++ {
+			shard := sh
+			q := NewQueue(s)
+			res := NewResource(s, 2)
+			for d := 0; d < daemons; d++ {
+				env := s.SpawnOn(shard, fmt.Sprintf("d%d.%d", shard, d), func(env *Env) error {
+					r := env.LocalRand()
+					for {
+						switch r.Intn(5) {
+						case 0:
+							if err := env.Sleep(time.Duration(r.Intn(300)+1) * time.Microsecond); err != nil {
+								return nil
+							}
+						case 1:
+							q.Send(r.Int())
+						case 2:
+							if q.Len() > 0 {
+								if _, err := q.Recv(env); err != nil {
+									return nil
+								}
+							} else if err := env.Yield(); err != nil {
+								return nil
+							}
+						case 3:
+							if err := res.Use(env, time.Duration(r.Intn(200))*time.Microsecond); err != nil {
+								return nil
+							}
+						case 4:
+							mbox.Send(env, r.Int())
+						}
+					}
+				})
+				victims = append(victims, env)
+			}
+		}
+		s.Spawn("chaos", func(env *Env) error {
+			r := env.Rand()
+			for i := 0; ; i++ {
+				if err := env.Sleep(time.Duration(r.Intn(2000)+500) * time.Microsecond); err != nil {
+					return nil
+				}
+				victims[r.Intn(len(victims))].Interrupt(ErrStopped)
+			}
+		})
+		if err := s.Run(limit); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		digest, stats := s.OrderDigest(), s.Stats()
+		s.Stop()
+		_ = s.Run(0)
+		if n := s.LiveActivities(); n != 0 {
+			t.Fatalf("workers=%d leaked %d activities", workers, n)
+		}
+		return digest, stats
+	}
+
+	wantDigest, wantStats := run(0)
+	for _, workers := range []int{2, 4, 8} {
+		gotDigest, gotStats := run(workers)
+		if gotDigest != wantDigest || gotStats != wantStats {
+			t.Fatalf("workers=%d diverged: digest %#x vs %#x, stats %+v vs %+v",
+				workers, gotDigest, wantDigest, gotStats, wantStats)
+		}
+	}
+}

@@ -1,12 +1,22 @@
 // Package sim provides a deterministic discrete-event simulator whose
 // activities are ordinary goroutines.
 //
-// Exactly one activity runs at any instant. An activity blocks only through
-// the primitives on its Env (Sleep, Future.Wait, Queue.Recv, Resource.Acquire,
-// ...); each of those hands control back to the scheduler, which resumes the
-// activity with the earliest pending event. Events are ordered by
-// (virtual time, sequence number), so a run is a pure function of the program
-// and the seed: re-running a simulation reproduces it bit for bit.
+// Exactly one activity runs at any instant under the serial kernel. An
+// activity blocks only through the primitives on its Env (Sleep, Future.Wait,
+// Queue.Recv, Resource.Acquire, ...); each of those hands control back to the
+// scheduler, which resumes the activity with the earliest pending event.
+// Events are ordered by (virtual time, sequence number), so a run is a pure
+// function of the program and the seed: re-running a simulation reproduces it
+// bit for bit.
+//
+// A conservative parallel kernel (ConfigureParallel, parallel.go) lifts the
+// one-at-a-time restriction for shard-confined activities: activities spawned
+// with SpawnOn(shard, ...) for shard > 0 may be dispatched concurrently with
+// other shards inside a lookahead window, while everything on shard 0 — the
+// default — keeps the exclusive serial discipline. The committed event order,
+// sequence numbering, statistics, and trace output are bit-for-bit identical
+// between the two kernels; the serial kernel is the oracle the equivalence
+// suite checks the parallel one against. See DESIGN.md §13 for the protocol.
 //
 // The package is the substrate for everything else in this repository: hosts,
 // kernels, RPCs, and user processes in the Sprite reproduction are all sim
@@ -40,6 +50,12 @@ type event struct {
 	seq uint64
 	act *activity // activity to resume (nil for fn-only events)
 	fn  func()    // optional callback run in scheduler context
+
+	// Parallel-kernel bookkeeping (unused by the serial kernel): rec is the
+	// effect log of this event's in-window dispatch, consumed marks events a
+	// worker popped (dispatched or skipped as cancelled) inside a window.
+	rec      *dispatchRec
+	consumed bool
 }
 
 type eventHeap []*event
@@ -76,21 +92,27 @@ const (
 
 // activity is one simulated thread of control.
 type activity struct {
-	id     uint64
-	name   string
-	state  activityState
-	resume chan struct{} // scheduler -> activity handoff
-	env    *Env
-	wake   *event // pending timer event, cancelled on early wake
-	woken  bool   // a wake event is already queued for this block
-	err    error  // set if the activity's function returned an error
+	id       uint64
+	shard    int    // 0 = exclusive (serial discipline); >0 = confined
+	spawnOrd uint64 // per-shard spawn ordinal, seeds LocalRand
+	name     string
+	state    activityState
+	resume   chan struct{} // scheduler -> activity handoff
+	yield    chan struct{} // activity -> scheduler handoff
+	env      *Env
+	wake     *event     // pending timer event, cancelled on early wake
+	woken    bool       // a wake event is already queued for this block
+	err      error      // set if the activity's function returned an error
+	reaped   bool       // completion bookkeeping already performed
+	ctxw     *worker    // worker dispatching this activity inside a window
+	lrand    *rand.Rand // lazily created shard-local random stream
 }
 
 // Stats counts scheduler work: how many events the loop dispatched, how
 // many activity context switches it performed, the deepest the event queue
-// ever got, and how many activities were spawned. The counters are plain
-// increments on the single-threaded scheduler path and never affect
-// virtual time.
+// ever got, and how many activities were spawned. The counters never affect
+// virtual time, and both kernels produce identical values for the same
+// program and seed.
 type Stats struct {
 	EventsDispatched uint64
 	ContextSwitches  uint64
@@ -101,33 +123,52 @@ type Stats struct {
 // Simulation is a deterministic discrete-event simulator. The zero value is
 // not usable; construct with New.
 type Simulation struct {
-	now     time.Duration
-	queue   eventHeap
-	free    []*event // recycled event structs, reused by schedule
-	seq     uint64
-	actSeq  uint64
-	yield   chan struct{} // activity -> scheduler handoff
-	current *activity
-	live    map[uint64]*activity
-	stopped bool
-	rng     *rand.Rand
-	errs    []error
-	stats   Stats
+	now       time.Duration
+	queue     eventHeap
+	free      []*event // recycled event structs, reused by schedule
+	seq       uint64
+	actSeq    uint64
+	current   *activity
+	live      map[uint64]*activity
+	stopped   bool
+	rng       *rand.Rand
+	seed      int64
+	errs      []error
+	stats     Stats
+	digest    uint64
+	lookahead time.Duration // minimum cross-shard signalling delay
+	shards    map[int]*shardMeta
+	par       *parKernel // nil = serial kernel
+	traceSink func(at time.Duration, kind, detail string)
 
 	// Trace, when non-nil, receives one line per scheduler decision. It is
 	// intended for debugging tests, not production use.
 	Trace func(format string, args ...any)
 }
 
+// shardMeta carries per-shard deterministic state. Only the spawn ordinal
+// lives here today; it seeds LocalRand identically under both kernels.
+type shardMeta struct {
+	spawnSeq uint64
+}
+
 // Stats returns a copy of the scheduler's event-loop counters.
 func (s *Simulation) Stats() Stats { return s.stats }
+
+// fnvOffset/fnvPrime are the FNV-1a 64-bit parameters used by OrderDigest.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
 
 // New returns a simulation whose random stream is seeded with seed.
 func New(seed int64) *Simulation {
 	return &Simulation{
-		yield: make(chan struct{}),
-		live:  make(map[uint64]*activity),
-		rng:   rand.New(rand.NewSource(seed)),
+		live:   make(map[uint64]*activity),
+		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
+		digest: fnvOffset,
+		shards: make(map[int]*shardMeta),
 	}
 }
 
@@ -135,38 +176,164 @@ func New(seed int64) *Simulation {
 func (s *Simulation) Now() time.Duration { return s.now }
 
 // Rand returns the simulation's deterministic random source. It must only be
-// used from within activities (or before Run), never concurrently.
-func (s *Simulation) Rand() *rand.Rand { return s.rng }
+// used from exclusive (shard 0) contexts: handing the single stream to
+// concurrently dispatched activities would make draws depend on worker
+// interleaving. Confined activities use Env.LocalRand instead; the guard
+// fires identically under both kernels.
+func (s *Simulation) Rand() *rand.Rand {
+	s.exclusiveOnly("Rand")
+	return s.rng
+}
 
-// Spawn registers fn as a new activity that becomes runnable at the current
-// virtual time. It may be called before Run or from within a running
-// activity. The returned Env belongs to the new activity.
-func (s *Simulation) Spawn(name string, fn func(env *Env) error) *Env {
-	s.actSeq++
-	a := &activity{
-		id:     s.actSeq,
-		name:   name,
-		state:  stateReady,
-		resume: make(chan struct{}),
+// Seed returns the seed the simulation was constructed with.
+func (s *Simulation) Seed() int64 { return s.seed }
+
+// OrderDigest returns an FNV-1a hash over the committed (time, sequence)
+// event order so far. Two runs of the same program and seed — serial or
+// parallel, any worker count — produce the same digest; the equivalence
+// suite uses it as a cheap first-line comparison before diffing traces.
+func (s *Simulation) OrderDigest() uint64 { return s.digest }
+
+func (s *Simulation) noteCommit(at time.Duration, seq uint64) {
+	h := s.digest
+	x := uint64(at)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime
+		x >>= 8
 	}
+	x = seq
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime
+		x >>= 8
+	}
+	s.digest = h
+}
+
+// SetLookahead declares the minimum virtual-time delay of any cross-shard
+// interaction (typically the network propagation latency). The parallel
+// kernel uses it as the conservative lookahead bound; the serial kernel
+// stores it only to enforce the same Mailbox contracts, so a program that
+// violates them fails identically under the oracle.
+func (s *Simulation) SetLookahead(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.lookahead = d
+}
+
+// Lookahead returns the declared cross-shard lookahead.
+func (s *Simulation) Lookahead() time.Duration { return s.lookahead }
+
+// SetTraceSink installs (or with nil removes) the sink that Env.Emit
+// delivers structured trace events to. Under the parallel kernel, events
+// emitted inside a window are buffered and flushed in committed order, so
+// the sink observes the exact serial sequence.
+func (s *Simulation) SetTraceSink(fn func(at time.Duration, kind, detail string)) {
+	s.traceSink = fn
+}
+
+// exclusiveOnly panics when called from a shard-confined context. The two
+// kernels detect the same misuse: the serial oracle checks the running
+// activity's shard, the parallel kernel additionally refuses any call that
+// arrives while a window is executing.
+func (s *Simulation) exclusiveOnly(op string) {
+	if s.inWindow() {
+		panic("sim: Simulation." + op + " called from a shard-confined activity during a parallel window; confined activities must use their Env")
+	}
+	if cur := s.current; cur != nil && cur.shard != 0 {
+		panic("sim: Simulation." + op + " called from a shard-confined activity; confined activities must use their Env")
+	}
+}
+
+func (s *Simulation) inWindow() bool { return s.par != nil && s.par.inWindow }
+
+// Spawn registers fn as a new exclusive (shard 0) activity that becomes
+// runnable at the current virtual time. It may be called before Run or from
+// within a running exclusive activity. The returned Env belongs to the new
+// activity.
+func (s *Simulation) Spawn(name string, fn func(env *Env) error) *Env {
+	s.exclusiveOnly("Spawn")
+	return s.spawnOn(nil, 0, name, fn)
+}
+
+// SpawnOn registers fn as a new activity confined to the given shard.
+// Shard 0 is the exclusive shard: its activities run one at a time under
+// both kernels, exactly like Spawn. Shards > 0 are confined: under the
+// parallel kernel their activities may run concurrently with other shards
+// inside a lookahead window, so they must follow the confined contract
+// (LocalRand not Rand, shard-local primitives only, Mailbox for any
+// cross-shard signalling — see DESIGN.md §13). From a confined activity,
+// only the activity's own shard may be spawned onto.
+func (s *Simulation) SpawnOn(shard int, name string, fn func(env *Env) error) *Env {
+	s.exclusiveOnly("SpawnOn")
+	return s.spawnOn(nil, shard, name, fn)
+}
+
+// spawnOn creates the activity in execution context w (nil = exclusive).
+func (s *Simulation) spawnOn(w *worker, shard int, name string, fn func(env *Env) error) *Env {
+	if shard < 0 {
+		panic("sim: SpawnOn with negative shard")
+	}
+	meta := s.shards[shard]
+	if meta == nil {
+		if w != nil {
+			// A confined activity always has a meta for its own shard, and
+			// may only spawn onto its own shard.
+			panic("sim: confined spawn onto a foreign shard")
+		}
+		meta = &shardMeta{}
+		s.shards[shard] = meta
+	}
+	a := &activity{
+		shard:    shard,
+		spawnOrd: meta.spawnSeq,
+		name:     name,
+		state:    stateReady,
+		resume:   make(chan struct{}),
+		yield:    make(chan struct{}),
+	}
+	meta.spawnSeq++
 	a.env = &Env{sim: s, act: a}
-	s.live[a.id] = a
-	s.stats.Spawned++
 	go func() {
 		<-a.resume // wait for first scheduling
 		err := safeRun(fn, a.env)
 		a.err = err
 		a.state = stateDone
-		delete(s.live, a.id)
-		// An activity that bails out with ErrStopped during shutdown is not
-		// a failure; it is the expected way to unwind.
-		if err != nil && !errors.Is(err, ErrStopped) {
-			s.errs = append(s.errs, fmt.Errorf("activity %q: %w", a.name, err))
-		}
-		s.yield <- struct{}{}
+		a.yield <- struct{}{}
 	}()
-	s.schedule(s.now, a, nil)
+	if w != nil {
+		ev := w.scheduleLocal(w.now, a)
+		w.noteSpawn(ev, a)
+	} else {
+		s.admit(a)
+		s.schedule(s.now, a, nil)
+	}
 	return a.env
+}
+
+// admit performs the globally ordered half of spawning: id assignment and
+// liveness registration. Under the parallel kernel, confined spawns defer
+// this to the barrier replay so ids are assigned in committed order.
+func (s *Simulation) admit(a *activity) {
+	s.actSeq++
+	a.id = s.actSeq
+	s.live[a.id] = a
+	s.stats.Spawned++
+}
+
+// reap performs completion bookkeeping for a finished activity, in the
+// exact committed position of the dispatch that finished it.
+func (s *Simulation) reap(a *activity) {
+	if a.reaped {
+		return
+	}
+	a.reaped = true
+	delete(s.live, a.id)
+	// An activity that bails out with ErrStopped during shutdown is not
+	// a failure; it is the expected way to unwind.
+	if a.err != nil && !errors.Is(a.err, ErrStopped) {
+		s.errs = append(s.errs, fmt.Errorf("activity %q: %w", a.name, a.err))
+	}
 }
 
 func safeRun(fn func(env *Env) error, env *Env) (err error) {
@@ -179,8 +346,11 @@ func safeRun(fn func(env *Env) error, env *Env) (err error) {
 }
 
 // After schedules fn to run in scheduler context (not as an activity) after
-// delay d. Use Spawn for anything that needs to block.
+// delay d. Use Spawn for anything that needs to block. After is an exclusive
+// primitive: confined activities cannot install scheduler callbacks (the
+// callback would run outside their shard's ordering domain).
 func (s *Simulation) After(d time.Duration, fn func()) {
+	s.exclusiveOnly("After")
 	if d < 0 {
 		d = 0
 	}
@@ -189,18 +359,24 @@ func (s *Simulation) After(d time.Duration, fn func()) {
 
 func (s *Simulation) schedule(at time.Duration, a *activity, fn func()) *event {
 	s.seq++
+	ev := s.newEvent(at, s.seq, a, fn)
+	heap.Push(&s.queue, ev)
+	if n := len(s.queue); n > s.stats.MaxQueueDepth {
+		s.stats.MaxQueueDepth = n
+	}
+	return ev
+}
+
+// newEvent allocates an event, reusing the freelist when possible.
+func (s *Simulation) newEvent(at time.Duration, seq uint64, a *activity, fn func()) *event {
 	var ev *event
 	if n := len(s.free); n > 0 {
 		ev = s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
-		*ev = event{at: at, seq: s.seq, act: a, fn: fn}
+		*ev = event{at: at, seq: seq, act: a, fn: fn}
 	} else {
-		ev = &event{at: at, seq: s.seq, act: a, fn: fn}
-	}
-	heap.Push(&s.queue, ev)
-	if n := len(s.queue); n > s.stats.MaxQueueDepth {
-		s.stats.MaxQueueDepth = n
+		ev = &event{at: at, seq: seq, act: a, fn: fn}
 	}
 	return ev
 }
@@ -219,27 +395,10 @@ func (s *Simulation) release(ev *event) {
 // (limit <= 0 means no limit), or until Stop is called. It returns the first
 // error of: an activity error, a detected deadlock, or nil.
 func (s *Simulation) Run(limit time.Duration) error {
-	for len(s.queue) > 0 && !s.stopped {
-		ev := heap.Pop(&s.queue).(*event)
-		at, act, fn := ev.at, ev.act, ev.fn
-		s.release(ev)
-		if act == nil && fn == nil {
-			continue // cancelled timer
-		}
-		if limit > 0 && at > limit {
-			s.now = limit
-			break
-		}
-		if at > s.now {
-			s.now = at
-		}
-		s.stats.EventsDispatched++
-		if fn != nil {
-			fn()
-		}
-		if act != nil {
-			s.dispatch(act)
-		}
+	if s.par != nil {
+		s.runParallel(limit)
+	} else {
+		s.runSerial(limit)
 	}
 	if s.stopped {
 		s.drain()
@@ -258,6 +417,33 @@ func (s *Simulation) Run(limit time.Duration) error {
 	return nil
 }
 
+// runSerial is the classic one-event-at-a-time loop: the oracle kernel.
+func (s *Simulation) runSerial(limit time.Duration) {
+	for len(s.queue) > 0 && !s.stopped {
+		ev := heap.Pop(&s.queue).(*event)
+		at, seq, act, fn := ev.at, ev.seq, ev.act, ev.fn
+		s.release(ev)
+		if act == nil && fn == nil {
+			continue // cancelled timer
+		}
+		if limit > 0 && at > limit {
+			s.now = limit
+			break
+		}
+		if at > s.now {
+			s.now = at
+		}
+		s.stats.EventsDispatched++
+		s.noteCommit(at, seq)
+		if fn != nil {
+			fn()
+		}
+		if act != nil {
+			s.dispatch(act)
+		}
+	}
+}
+
 // dispatch resumes activity a and waits for it to block or finish.
 func (s *Simulation) dispatch(a *activity) {
 	if a.state == stateDone {
@@ -271,13 +457,20 @@ func (s *Simulation) dispatch(a *activity) {
 	a.state = stateRunning
 	s.current = a
 	a.resume <- struct{}{}
-	<-s.yield
+	<-a.yield
 	s.current = nil
+	if a.state == stateDone {
+		s.reap(a)
+	}
 }
 
 // Stop aborts the simulation: all blocked activities are woken with
-// ErrStopped so their goroutines exit, and Run returns.
-func (s *Simulation) Stop() { s.stopped = true }
+// ErrStopped so their goroutines exit, and Run returns. Stop is an exclusive
+// primitive.
+func (s *Simulation) Stop() {
+	s.exclusiveOnly("Stop")
+	s.stopped = true
+}
 
 // drain wakes every remaining blocked activity with ErrStopped so that no
 // goroutines are leaked after Run returns.
@@ -335,25 +528,97 @@ type Env struct {
 // Sim returns the underlying simulation.
 func (e *Env) Sim() *Simulation { return e.sim }
 
-// Now returns the current virtual time.
-func (e *Env) Now() time.Duration { return e.sim.now }
+// Now returns the current virtual time: inside a parallel window, the
+// timestamp of the event being dispatched on this activity's worker, which
+// is exactly what the serial kernel's global clock would read.
+func (e *Env) Now() time.Duration {
+	if w := e.act.ctxw; w != nil {
+		return w.now
+	}
+	return e.sim.now
+}
 
-// Rand returns the simulation's deterministic random source.
-func (e *Env) Rand() *rand.Rand { return e.sim.rng }
+// Rand returns the simulation's deterministic random source. Confined
+// activities must use LocalRand: the global stream's draw order depends on
+// the interleaving of every consumer, which only shard 0 keeps fixed. The
+// guard fires under both kernels, so the serial oracle rejects the same
+// programs the parallel kernel would.
+func (e *Env) Rand() *rand.Rand {
+	if e.act.shard != 0 {
+		panic("sim: Env.Rand from shard-confined activity " + e.act.name + "; use Env.LocalRand")
+	}
+	return e.sim.rng
+}
+
+// LocalRand returns a deterministic random stream private to this activity,
+// seeded from (simulation seed, shard, per-shard spawn ordinal). The stream
+// is identical under both kernels and any worker count, which makes it the
+// only legal randomness source inside confined activities.
+func (e *Env) LocalRand() *rand.Rand {
+	if e.act.lrand == nil {
+		e.act.lrand = rand.New(rand.NewSource(mixSeed(e.sim.seed, e.act.shard, e.act.spawnOrd)))
+	}
+	return e.act.lrand
+}
+
+// mixSeed derives an independent stream seed with a splitmix64-style hash.
+func mixSeed(seed int64, shard int, ord uint64) int64 {
+	z := uint64(seed) ^ (uint64(shard) * 0x9e3779b97f4a7c15) ^ (ord * 0xbf58476d1ce4e5b9)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Shard returns the shard this activity is confined to (0 = exclusive).
+func (e *Env) Shard() int { return e.act.shard }
 
 // Name returns the activity's name (useful in logs and errors).
 func (e *Env) Name() string { return e.act.name }
 
-// Spawn starts a new activity at the current virtual time.
+// Spawn starts a new activity at the current virtual time. The child
+// inherits the parent's shard, so confined activities naturally stay
+// confined and exclusive activities stay exclusive.
 func (e *Env) Spawn(name string, fn func(env *Env) error) *Env {
-	return e.sim.Spawn(name, fn)
+	return e.SpawnOn(e.act.shard, name, fn)
+}
+
+// SpawnOn starts a new activity on the given shard. Confined activities may
+// only spawn onto their own shard; exclusive ones may spawn anywhere.
+func (e *Env) SpawnOn(shard int, name string, fn func(env *Env) error) *Env {
+	if w := e.act.ctxw; w != nil {
+		if shard != e.act.shard {
+			panic("sim: confined activity " + e.act.name + " spawning onto a foreign shard")
+		}
+		return e.sim.spawnOn(w, shard, name, fn)
+	}
+	if e.act.shard != 0 && shard != e.act.shard {
+		panic("sim: confined activity " + e.act.name + " spawning onto a foreign shard")
+	}
+	return e.sim.spawnOn(nil, shard, name, fn)
+}
+
+// Emit delivers a structured trace event to the simulation's trace sink (a
+// no-op without one). Inside a parallel window the event is buffered and
+// flushed at the barrier in committed order, so sinks always observe the
+// serial sequence.
+func (e *Env) Emit(kind, detail string) {
+	if w := e.act.ctxw; w != nil {
+		w.cur.traces = append(w.cur.traces, traceEntry{at: w.now, kind: kind, detail: detail})
+		return
+	}
+	if e.sim.traceSink != nil {
+		e.sim.traceSink(e.sim.now, kind, detail)
+	}
 }
 
 // block parks the activity until the scheduler resumes it, returning any
 // wake error (ErrStopped or ErrTimeout) set by the waker.
 func (e *Env) block() error {
 	e.act.state = stateBlocked
-	e.sim.yield <- struct{}{}
+	e.act.yield <- struct{}{}
 	<-e.act.resume
 	e.act.state = stateRunning
 	e.act.woken = false
@@ -362,12 +627,22 @@ func (e *Env) block() error {
 	return err
 }
 
-// Sleep advances the activity's virtual time by d.
-func (e *Env) Sleep(d time.Duration) error {
+// scheduleWake schedules a resume of this activity after d, in the
+// activity's execution context: the global queue when running exclusively,
+// the dispatching worker's local queue inside a parallel window.
+func (e *Env) scheduleWake(d time.Duration) *event {
 	if d < 0 {
 		d = 0
 	}
-	e.act.wake = e.sim.schedule(e.sim.now+d, e.act, nil)
+	if w := e.act.ctxw; w != nil {
+		return w.scheduleLocal(w.now+d, e.act)
+	}
+	return e.sim.schedule(e.sim.now+d, e.act, nil)
+}
+
+// Sleep advances the activity's virtual time by d.
+func (e *Env) Sleep(d time.Duration) error {
+	e.act.wake = e.scheduleWake(d)
 	return e.block()
 }
 
@@ -381,17 +656,38 @@ func (e *Env) Yield() error { return e.Sleep(0) }
 // (a second queued resume would later fire as a spurious wakeup while the
 // activity is blocked on something else entirely).
 func (e *Env) wakeNow(err error) {
-	if e.act.state != stateBlocked || e.act.woken {
+	a := e.act
+	if a.state != stateBlocked || a.woken {
 		return
 	}
-	if e.act.wake != nil { // cancel pending timer
-		e.act.wake.act = nil
-		e.act.wake.fn = nil
-		e.act.wake = nil
+	if a.wake != nil { // cancel pending timer
+		a.wake.act = nil
+		a.wake.fn = nil
+		a.wake = nil
 	}
-	e.act.woken = true
+	a.woken = true
 	e.wakeErr = err
-	e.sim.schedule(e.sim.now, e.act, nil)
+	s := e.sim
+	if s.inWindow() {
+		// The waker is a confined activity executing inside a window; the
+		// confined contract restricts it to same-shard sync objects, so the
+		// wakee lives on the same shard and the same worker. Waking a
+		// shard-0 activity at the current instant would have to reorder
+		// already-running work — that is exactly what a Mailbox exists for.
+		if a.shard == 0 {
+			panic("sim: wake of an exclusive (shard 0) activity from inside a parallel window; cross-shard signalling must use a Mailbox")
+		}
+		w := s.par.workerFor(a.shard)
+		w.scheduleLocal(w.now, a)
+		return
+	}
+	if cur := s.current; cur != nil && cur.shard != 0 && cur.shard != a.shard {
+		// Serial oracle for the same contract: a confined activity waking a
+		// foreign shard at the current instant would be a same-timestamp
+		// cross-shard interaction, invisible to the lookahead bound.
+		panic("sim: cross-shard wake at the current instant; cross-shard signalling must use a Mailbox")
+	}
+	s.schedule(s.now, a, nil)
 }
 
 // Interrupt poisons the activity that owns e with err: if it is blocked in

@@ -58,7 +58,7 @@ func (f *Future) WaitTimeout(env *Env, d time.Duration) (any, error) {
 		return f.value, f.err
 	}
 	f.waiters = append(f.waiters, env)
-	env.act.wake = f.sim.schedule(f.sim.now+d, env.act, nil)
+	env.act.wake = env.scheduleWake(d)
 	// If the timer fires, block returns nil but the future is unresolved.
 	if werr := env.block(); werr != nil {
 		f.dropWaiter(env)
@@ -184,10 +184,10 @@ func NewResource(s *Simulation, slots int) *Resource {
 // loop of Acquire/Release cannot starve other acquirers (this is what gives
 // CPU.Compute its round-robin behaviour).
 func (r *Resource) Acquire(env *Env) error {
-	start := r.sim.now
+	start := env.Now()
 	if r.inUse < r.slots && len(r.waiters) == 0 {
 		if r.inUse == 0 {
-			r.lastStart = r.sim.now
+			r.lastStart = start
 		}
 		r.inUse++
 		r.acquired++
@@ -201,7 +201,7 @@ func (r *Resource) Acquire(env *Env) error {
 	// A nil wake means Release transferred its slot to us: inUse was left
 	// unchanged on our behalf.
 	r.acquired++
-	r.waited += r.sim.now - start
+	r.waited += env.Now() - start
 	return nil
 }
 
@@ -210,7 +210,15 @@ func (r *Resource) Acquire(env *Env) error {
 // been woken with an error (interrupted by fault injection, say) cannot take
 // the slot — its Acquire will return that error without claiming anything —
 // so it is skipped, not handed a slot it would leak.
-func (r *Resource) Release() {
+func (r *Resource) Release() { r.releaseAt(r.sim.now) }
+
+// ReleaseEnv is Release with the caller's execution context: inside a
+// parallel window the global clock is parked at the window's start, so
+// confined activities must release with their own view of time for the
+// busy-time accounting to match the serial kernel exactly.
+func (r *Resource) ReleaseEnv(env *Env) { r.releaseAt(env.Now()) }
+
+func (r *Resource) releaseAt(now time.Duration) {
 	if r.inUse == 0 {
 		return
 	}
@@ -225,7 +233,7 @@ func (r *Resource) Release() {
 	}
 	r.inUse--
 	if r.inUse == 0 {
-		r.busy += r.sim.now - r.lastStart
+		r.busy += now - r.lastStart
 	}
 }
 
@@ -236,7 +244,7 @@ func (r *Resource) Use(env *Env, d time.Duration) error {
 		return err
 	}
 	err := env.Sleep(d)
-	r.Release()
+	r.releaseAt(env.Now())
 	return err
 }
 
