@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-baseline bench-wallclock chaos shootout scale experiments examples clean
+.PHONY: all build vet lint test race race-confined cover bench bench-baseline bench-wallclock chaos chaos-confined shootout shootout-confined scale experiments examples clean
 
 all: build vet lint test
 
@@ -33,6 +33,16 @@ test:
 race:
 	$(GO) test -race ./...
 	SPRITE_SIM_PARALLEL=4 $(GO) test -race ./internal/sim ./internal/core ./internal/fault ./internal/recovery ./internal/hostsel
+	$(MAKE) race-confined
+
+# Confined-hosts leg (DESIGN.md §14): the suites written for the confined
+# contract — migration equivalence across all four strategies, the
+# cross-host RPC storm, the frozen golden, and the contract panics — under
+# the race detector with the parallel kernel forced. SPRITE_SIM_CONFINE=1
+# additionally exercises the env opt-in path; it is scoped to these suites
+# by name because confined clusters reject crashes and migration aborts.
+race-confined:
+	SPRITE_SIM_PARALLEL=4 SPRITE_SIM_CONFINE=1 $(GO) test -race -run 'TestConfined' -v ./internal/core
 
 # Minimum total coverage enforced; raise as the suite grows.
 COVER_MIN ?= 60
@@ -85,6 +95,14 @@ chaos:
 	SPRITE_CHAOS_SNAPSHOT=$(CURDIR)/RECOVERY_metrics.json SPRITE_SIM_PARALLEL=4 \
 		$(GO) test -race -run 'TestCrashStorm|TestCrashAnyHostAtAnyFailpoint|TestGoldenCrashScenarios' -v ./internal/recovery
 	$(GO) run ./cmd/spritesim -experiment E15 -recovery-snapshot RECOVERY_demo.json
+	$(MAKE) chaos-confined
+
+# The confined counterpart of the chaos storm: crashes are off the table
+# under host confinement (the guards panic), so the stress here is traffic —
+# the cross-host RPC storm over all four strategies plus the contract
+# panics, racing at 4 workers.
+chaos-confined:
+	SPRITE_SIM_PARALLEL=4 $(GO) test -race -run 'TestConfinedCrossHostStorm|TestConfinedContract' -v ./internal/core
 
 # Host-selection churn suite (DESIGN.md §12) under the race detector —
 # reboot storms, flapping, and partitions against all four selector
@@ -96,12 +114,26 @@ shootout:
 	SPRITE_SIM_PARALLEL=4 $(GO) test -race -run 'Churn|Gossip|LoadVector|Merge|Decay|VectorBound|EvictionHint|EpochAdvance|NewestHalf|RebootReleases' -v ./internal/hostsel
 	SPRITE_SIM_PARALLEL=4 $(GO) test -race -run 'GossipMisplaceGate' ./internal/experiments
 	$(GO) run ./cmd/spritesim -experiment E16 -hostsel-snapshot HOSTSEL_shootout.json
+	$(MAKE) shootout-confined
 
-# The 10,000-host scale tier (nightly CI): E16's combined-churn schedule —
-# reboot storm, flapping hosts, two partitions, competing requesters — at
-# fleet scale, on the parallel kernel. Emits HOSTSEL_10k.json.
+# Confined-hosts leg: E17's migration-heavy workload must commit the same
+# order at every worker count with the whole RPC/FS/migration plane
+# shard-confined.
+shootout-confined:
+	SPRITE_SIM_PARALLEL=4 $(GO) test -race -run 'TestE17MigrationDigestsAgree' -v ./internal/experiments
+
+# The 10,000-host scale tier (nightly CI), two planes:
+#   1. E16's combined-churn schedule — reboot storm, flapping hosts, two
+#      partitions, competing requesters — at fleet scale on the parallel
+#      kernel (churn needs crashes, so this plane cannot confine hosts).
+#      Emits HOSTSEL_10k.json.
+#   2. The confined-hosts migration plane (DESIGN.md §14) at 10k hosts,
+#      run under the serial oracle AND the parallel kernel: the run fails
+#      if their order digests diverge at fleet scale, and the
+#      serial-vs-parallel wallclock comparison lands in SCALE_confined.json.
 scale:
 	$(GO) run ./cmd/spritesim -experiment E16 -hosts 10000 -parallel -hostsel-snapshot HOSTSEL_10k.json
+	$(GO) run ./cmd/spritesim -confined-scale SCALE_confined.json
 
 # Regenerate every reproduced table (see EXPERIMENTS.md).
 experiments:

@@ -9,6 +9,7 @@
 //	spritesim -experiment E16 [-fleet-10k] [-hostsel-snapshot HOSTSEL_shootout.json]
 //	spritesim -experiment E16 -hosts 10000
 //	spritesim -experiment E17 [-hosts 1000] [-wallclock-snapshot BENCH_wallclock.json]
+//	spritesim -confined-scale SCALE_confined.json [-hosts 10000]
 //	spritesim -all [-quick] [-parallel] [-workers N]
 //
 // -metrics appends every cluster's metrics snapshot (RPC traffic, cache
@@ -74,19 +75,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spritesim", flag.ContinueOnError)
 	var (
-		list  = fs.Bool("list", false, "list available experiments")
-		expID = fs.String("experiment", "", "experiment id to run (E1..E14)")
-		all   = fs.Bool("all", false, "run every experiment")
-		seed    = fs.Int64("seed", 42, "simulation seed")
-		quick   = fs.Bool("quick", false, "smaller parameter sweeps")
-		metrics = fs.Bool("metrics", false, "append each cluster's metrics snapshot to the tables")
-		recSnap = fs.String("recovery-snapshot", "", "write the recovery experiment's (E15) metrics snapshot JSON to this file")
-		fleet10k = fs.Bool("fleet-10k", false, "add the 10,000-host point to the selector shoot-out (E16)")
-		hostSnap = fs.String("hostsel-snapshot", "", "write the selector shoot-out's (E16) results JSON to this file")
-		hosts    = fs.Int("hosts", 0, "override the scale-aware experiments' host count (E16 fleet size, E17 load daemons)")
-		wallSnap = fs.String("wallclock-snapshot", "", "write the wallclock experiment's (E17) rows JSON to this file")
-		parallel = fs.Bool("parallel", false, "run every cluster on the conservative parallel kernel (identical results, less wallclock)")
-		workers  = fs.Int("workers", 0, "parallel kernel worker count (0 = GOMAXPROCS; implies -parallel)")
+		list      = fs.Bool("list", false, "list available experiments")
+		expID     = fs.String("experiment", "", "experiment id to run (E1..E14)")
+		all       = fs.Bool("all", false, "run every experiment")
+		seed      = fs.Int64("seed", 42, "simulation seed")
+		quick     = fs.Bool("quick", false, "smaller parameter sweeps")
+		metrics   = fs.Bool("metrics", false, "append each cluster's metrics snapshot to the tables")
+		recSnap   = fs.String("recovery-snapshot", "", "write the recovery experiment's (E15) metrics snapshot JSON to this file")
+		fleet10k  = fs.Bool("fleet-10k", false, "add the 10,000-host point to the selector shoot-out (E16)")
+		hostSnap  = fs.String("hostsel-snapshot", "", "write the selector shoot-out's (E16) results JSON to this file")
+		hosts     = fs.Int("hosts", 0, "override the scale-aware experiments' host count (E16 fleet size, E17 load daemons)")
+		wallSnap  = fs.String("wallclock-snapshot", "", "write the wallclock experiment's (E17) rows JSON to this file")
+		confScale = fs.String("confined-scale", "", "run the confined-hosts scale tier (serial vs parallel migration plane, default 10000 hosts; -hosts overrides) and write the comparison JSON to this file")
+		parallel  = fs.Bool("parallel", false, "run every cluster on the conservative parallel kernel (identical results, less wallclock)")
+		workers   = fs.Int("workers", 0, "parallel kernel worker count (0 = GOMAXPROCS; implies -parallel)")
 	)
 	var crashes crashFlags
 	fs.Var(&crashes, "crash", "recovery-experiment fault: host@at[+dur], e.g. ws1@250ms+200ms (repeatable; no +dur = instant reboot)")
@@ -109,8 +111,22 @@ func run(args []string) error {
 		Crashes: crashes, RecoverySnapshot: *recSnap,
 		Fleet10k: *fleet10k, HostselSnapshot: *hostSnap,
 		Hosts: *hosts, WallclockSnapshot: *wallSnap,
+		ConfinedScaleSnapshot: *confScale,
 	}
 	switch {
+	case *confScale != "":
+		// The tier runs its own serial and parallel legs, so it must not be
+		// combined with -parallel (which forces every cluster parallel and
+		// would turn the serial baseline into a second parallel run).
+		if *parallel || *workers > 0 {
+			return fmt.Errorf("-confined-scale runs its own serial and parallel legs; drop -parallel/-workers")
+		}
+		tbl, err := experiments.E17ConfinedScale(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
 	case *list:
 		for _, r := range experiments.All() {
 			fmt.Printf("%-4s %s\n", r.ID, r.Name)

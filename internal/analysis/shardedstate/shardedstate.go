@@ -1,26 +1,51 @@
 // Package shardedstate enforces the confined-activity contract of the
-// conservative parallel kernel (DESIGN.md §13). An activity spawned with
-// sim.Simulation.SpawnOn runs inside a worker's window, concurrently with
-// activities on other shards; the only state it may touch is its own.
+// conservative parallel kernel (DESIGN.md §13, §14). An activity spawned
+// with sim.Simulation.SpawnOn runs inside a worker's window, concurrently
+// with activities on other shards; the only state it may touch is its own.
 // Cross-shard data must flow through the kernel's ordered primitives —
 // sim.Mailbox sends (whose delay clears the lookahead horizon) and the
 // slot-sharded metrics cells merged at snapshot — because anything else is
 // either a data race or, worse, a schedule-dependent result that breaks the
 // bit-for-bit serial-equivalence guarantee the whole test pyramid leans on.
 //
-// The analyzer inspects every confined body reachable from a SpawnOn call:
-// an inline func literal, or the literal(s) returned by a same-package
-// closure factory (the bgload `b.daemon(host)` idiom). Inside one it flags
+// The analyzer recognizes every confinement point in the tree:
+//
+//   - sim.Simulation.SpawnOn — the original bgload idiom;
+//   - sim.Env.SpawnOn — a confined activity pinning a child to a shard
+//     (core's process bodies);
+//   - core.Cluster.BootOn — drivers handed to a host's shard (DESIGN.md
+//     §14); the body runs confined exactly like a SpawnOn literal.
+//
+// and resolves the activity argument four ways: an inline func literal;
+// the literal(s) returned by a same-package closure factory (the bgload
+// `b.daemon(host)` idiom); a local variable bound to a literal (core's
+// `body := func(...); env.SpawnOn(shard, ..., body)`); or a method value
+// (rpc's `t.sim.SpawnOn(shard, ..., ep.dispatchLoop)` — the per-host
+// confinement idiom, where a host-owned object and its whole method family
+// are handed to the host's shard).
+//
+// Inside a confined body it flags
 //
 //   - writes to captured variables (assignment, op-assign, ++/--, through
 //     selectors, indexes, or pointers whose base is declared outside the
-//     literal) — confined state must be literal-local;
+//     body) — confined state must be body-local. For a method value the
+//     receiver and parameters count as body-local: handing `ep.serve` to a
+//     shard hands `ep`'s state with it, which is precisely the per-host
+//     idiom, so only package-level captures are cross-shard;
 //   - Env.Rand, the simulation-global stream (runtime panics too; the
 //     analyzer moves the failure to lint time) — use Env.LocalRand;
 //   - the unsharded metrics mutators Counter.Inc/Add and Timing.Observe —
 //     use the slot-keyed variants with sim.WorkerSlot(env);
 //   - Gauge.Set/Add — gauges are last-writer-wins and deliberately not
 //     sharded; report through a Mailbox to an exclusive collector.
+//
+// When the confined body is a method, the analyzer also follows calls to
+// other same-package methods of the same receiver type — the host-kernel
+// method family reachable from the spawn (rpc's dispatchLoop →
+// execAsync → execConfined → sendConfReply chain) — and applies the same
+// checks there, each declaration checked and reported once. Calls into
+// other types or packages are out of reach for a per-package analyzer and
+// are left to the kernel's runtime checks.
 //
 // Exclusive activities (sim.Simulation.Spawn, shard 0) are unrestricted:
 // the serial commit order is the arbiter there. _test.go files are exempt —
@@ -39,6 +64,7 @@ import (
 
 const (
 	simPkg     = "sprite/internal/sim"
+	corePkg    = "sprite/internal/core"
 	metricsPkg = "sprite/internal/metrics"
 )
 
@@ -56,11 +82,25 @@ var unsharded = []struct {
 // Analyzer is the shardedstate check.
 var Analyzer = &lint.Analyzer{
 	Name: "shardedstate",
-	Doc:  "confined activities (sim.SpawnOn) must not mutate captured state, use Env.Rand, or bump unsharded metrics; cross-shard data flows through mailboxes and slot-sharded cells",
+	Doc:  "confined activities (sim.SpawnOn / Env.SpawnOn / Cluster.BootOn, including host-kernel method values) must not mutate captured state, use Env.Rand, or bump unsharded metrics; cross-shard data flows through mailboxes and slot-sharded cells",
 	Run:  run,
 }
 
+// confined is one body that will run on a confined shard: body is its
+// statements, local is the node whose extent declares the body-local
+// variables (the literal, or the whole declaration for a method — receiver
+// and parameters are handed to the shard with it), and method is non-nil
+// for a named method, enabling receiver-family following.
+type confined struct {
+	body   *ast.BlockStmt
+	local  ast.Node
+	method *types.Func
+}
+
 func run(pass *lint.Pass) (any, error) {
+	// Each declaration is checked and reported once, however many spawn
+	// sites or family call chains reach it.
+	visited := make(map[*types.Func]bool)
 	for _, f := range pass.Files {
 		if strings.HasSuffix(pass.Filename(f.Pos()), "_test.go") {
 			continue
@@ -71,11 +111,11 @@ func run(pass *lint.Pass) (any, error) {
 				return true
 			}
 			fn := lint.FuncObjOf(pass.TypesInfo, call)
-			if !lint.IsMethod(fn, simPkg, "Simulation", "SpawnOn") || len(call.Args) != 3 {
+			if !isConfinePoint(fn) || len(call.Args) != 3 {
 				return true
 			}
-			for _, lit := range confinedBodies(pass, call.Args[2]) {
-				checkConfined(pass, lit)
+			for _, cb := range confinedBodies(pass, call.Args[2]) {
+				checkConfined(pass, cb, visited)
 			}
 			return true
 		})
@@ -83,17 +123,39 @@ func run(pass *lint.Pass) (any, error) {
 	return nil, nil
 }
 
-// confinedBodies resolves SpawnOn's activity argument to the func literals
-// that will actually run confined: the argument itself when it is a
-// literal, or the literals returned by a same-package function/method when
-// the argument is a closure-factory call. Anything more dynamic (a func
-// value threaded through a variable or another package) is out of reach for
-// a per-package analyzer and is left to the kernel's runtime checks.
-func confinedBodies(pass *lint.Pass, arg ast.Expr) []*ast.FuncLit {
+// isConfinePoint reports whether fn hands its func argument to a confined
+// shard.
+func isConfinePoint(fn *types.Func) bool {
+	return lint.IsMethod(fn, simPkg, "Simulation", "SpawnOn") ||
+		lint.IsMethod(fn, simPkg, "Env", "SpawnOn") ||
+		lint.IsMethod(fn, corePkg, "Cluster", "BootOn")
+}
+
+// confinedBodies resolves a confinement point's activity argument to the
+// bodies that will actually run confined. Anything more dynamic (a func
+// value threaded through a field or another package) is out of reach for a
+// per-package analyzer and is left to the kernel's runtime checks.
+func confinedBodies(pass *lint.Pass, arg ast.Expr) []confined {
 	switch e := ast.Unparen(arg).(type) {
 	case *ast.FuncLit:
-		return []*ast.FuncLit{e}
+		return []confined{{body: e.Body, local: e}}
+	case *ast.Ident:
+		switch obj := pass.TypesInfo.Uses[e].(type) {
+		case *types.Func:
+			return funcBody(pass, obj)
+		case *types.Var:
+			// The local-body idiom: body := func(...){...}; SpawnOn(..., body).
+			if lit := litBoundTo(pass, obj); lit != nil {
+				return []confined{{body: lit.Body, local: lit}}
+			}
+		}
+	case *ast.SelectorExpr:
+		// The per-host method-value idiom: SpawnOn(shard, ..., ep.dispatchLoop).
+		if fn, ok := pass.TypesInfo.Uses[e.Sel].(*types.Func); ok {
+			return funcBody(pass, fn)
+		}
 	case *ast.CallExpr:
+		// The closure-factory idiom: SpawnOn(shard, ..., b.daemon(host)).
 		fn := lint.FuncObjOf(pass.TypesInfo, e)
 		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path() {
 			return nil
@@ -102,12 +164,12 @@ func confinedBodies(pass *lint.Pass, arg ast.Expr) []*ast.FuncLit {
 		if decl == nil || decl.Body == nil {
 			return nil
 		}
-		var lits []*ast.FuncLit
+		var out []confined
 		ast.Inspect(decl.Body, func(n ast.Node) bool {
 			if ret, ok := n.(*ast.ReturnStmt); ok {
 				for _, r := range ret.Results {
 					if lit, ok := ast.Unparen(r).(*ast.FuncLit); ok {
-						lits = append(lits, lit)
+						out = append(out, confined{body: lit.Body, local: lit})
 					}
 				}
 			}
@@ -116,7 +178,64 @@ func confinedBodies(pass *lint.Pass, arg ast.Expr) []*ast.FuncLit {
 			_, isLit := n.(*ast.FuncLit)
 			return !isLit
 		})
-		return lits
+		return out
+	}
+	return nil
+}
+
+// funcBody resolves a same-package function or method value to its
+// declaration's body.
+func funcBody(pass *lint.Pass, fn *types.Func) []confined {
+	if fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path() {
+		return nil
+	}
+	decl := declOf(pass, fn)
+	if decl == nil || decl.Body == nil {
+		return nil
+	}
+	var method *types.Func
+	if fn.Type().(*types.Signature).Recv() != nil {
+		method = fn
+	}
+	return []confined{{body: decl.Body, local: decl, method: method}}
+}
+
+// litBoundTo finds the func literal a local variable was defined as
+// (`v := func(...){...}` or `var v = func(...){...}`), or nil when the
+// variable is bound any other way.
+func litBoundTo(pass *lint.Pass, v *types.Var) *ast.FuncLit {
+	for _, f := range pass.Files {
+		var found *ast.FuncLit
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || pass.TypesInfo.Defs[id] != types.Object(v) {
+						continue
+					}
+					if lit, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit); ok {
+						found = lit
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range n.Names {
+					if pass.TypesInfo.Defs[id] != types.Object(v) || i >= len(n.Values) {
+						continue
+					}
+					if lit, ok := ast.Unparen(n.Values[i]).(*ast.FuncLit); ok {
+						found = lit
+					}
+				}
+			}
+			return found == nil
+		})
+		if found != nil {
+			return found
+		}
 	}
 	return nil
 }
@@ -133,30 +252,66 @@ func declOf(pass *lint.Pass, fn *types.Func) *ast.FuncDecl {
 	return nil
 }
 
+// recvType returns the named type of fn's receiver base, or nil for a
+// plain function.
+func recvType(fn *types.Func) *types.TypeName {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
 // checkConfined walks one confined body (nested literals included — they
-// run on the same shard) and reports contract violations.
-func checkConfined(pass *lint.Pass, lit *ast.FuncLit) {
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
+// run on the same shard) and reports contract violations. For a method it
+// also follows calls into the same receiver type's other same-package
+// methods: the host-kernel family handed to the shard along with the
+// receiver.
+func checkConfined(pass *lint.Pass, cb confined, visited map[*types.Func]bool) {
+	if cb.method != nil {
+		if visited[cb.method] {
+			return
+		}
+		visited[cb.method] = true
+	}
+	ast.Inspect(cb.body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			if n.Tok == token.DEFINE {
 				return true
 			}
 			for _, lhs := range n.Lhs {
-				checkWrite(pass, lit, lhs)
+				checkWrite(pass, cb.local, lhs)
 			}
 		case *ast.IncDecStmt:
-			checkWrite(pass, lit, n.X)
+			checkWrite(pass, cb.local, n.X)
 		case *ast.CallExpr:
 			checkCall(pass, n)
+			if cb.method != nil {
+				if callee := lint.FuncObjOf(pass.TypesInfo, n); callee != nil &&
+					callee.Pkg() != nil && callee.Pkg().Path() == pass.Pkg.Path() &&
+					recvType(callee) != nil && recvType(callee) == recvType(cb.method) {
+					for _, sub := range funcBody(pass, callee) {
+						checkConfined(pass, sub, visited)
+					}
+				}
+			}
 		}
 		return true
 	})
 }
 
 // checkWrite flags an assignment target whose base variable is captured
-// from outside the confined literal.
-func checkWrite(pass *lint.Pass, lit *ast.FuncLit, lhs ast.Expr) {
+// from outside the confined body's local extent.
+func checkWrite(pass *lint.Pass, local ast.Node, lhs ast.Expr) {
 	base := lhs
 	for {
 		switch e := ast.Unparen(base).(type) {
@@ -175,7 +330,7 @@ func checkWrite(pass *lint.Pass, lit *ast.FuncLit, lhs ast.Expr) {
 			if !ok || v.IsField() {
 				return
 			}
-			if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			if v.Pos() < local.Pos() || v.Pos() > local.End() {
 				pass.Reportf(id.Pos(), "confined activity mutates captured state %q: cross-shard data must flow through sim.Mailbox sends or slot-sharded metrics (DESIGN.md §13)", id.Name)
 			}
 			return

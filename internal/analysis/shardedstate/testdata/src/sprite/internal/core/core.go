@@ -1,0 +1,10 @@
+// Stub of sprite/internal/core for the shardedstate fixture: only the
+// receiver type name and the BootOn signature the analyzer matches against
+// must agree with the real package.
+package core
+
+import "sprite/internal/sim"
+
+type Cluster struct{}
+
+func (c *Cluster) BootOn(host int, name string, fn func(env *sim.Env) error) {}

@@ -17,6 +17,12 @@ func (s *Simulation) SpawnOn(shard int, name string, fn func(env *Env) error) *E
 	return nil
 }
 
+func (e *Env) Spawn(name string, fn func(env *Env) error) *Env { return nil }
+func (e *Env) SpawnOn(shard int, name string, fn func(env *Env) error) *Env {
+	return nil
+}
+func (e *Env) MarkDaemon() {}
+
 func (e *Env) Rand() *rand.Rand            { return nil }
 func (e *Env) LocalRand() *rand.Rand       { return nil }
 func (e *Env) Now() time.Duration          { return 0 }

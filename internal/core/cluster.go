@@ -5,6 +5,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"sprite/internal/fs"
@@ -22,12 +23,20 @@ import (
 // set across any suite — it is how `make race` audits the worker handoffs.
 func applyEnvParallel(p *SimParams) {
 	v := os.Getenv("SPRITE_SIM_PARALLEL")
-	if v == "" || v == "0" || v == "false" {
-		return
+	if v != "" && v != "0" && v != "false" {
+		p.Parallel = true
+		if n, err := strconv.Atoi(v); err == nil && n > 1 {
+			p.Workers = n
+		}
 	}
-	p.Parallel = true
-	if n, err := strconv.Atoi(v); err == nil && n > 1 {
-		p.Workers = n
+	// SPRITE_SIM_CONFINE=1 additionally homes every host on its own shard.
+	// Unlike SPRITE_SIM_PARALLEL this is NOT safe across arbitrary suites:
+	// confined clusters reject crashes, migration aborts, and shard-0
+	// process joins (DESIGN.md §14), so only point it at suites written for
+	// the confined contract (the `make race-confined` / `chaos-confined`
+	// legs select those by name).
+	if v := os.Getenv("SPRITE_SIM_CONFINE"); v == "1" || v == "true" {
+		p.ConfineHosts = true
 	}
 }
 
@@ -68,6 +77,12 @@ type Cluster struct {
 	// unconditionally cannot perturb an experiment.
 	metrics *metrics.Registry
 
+	// confined records that every host is homed on its own shard
+	// (Params.Sim.ConfineHosts): process activities spawn on their host's
+	// shard, trace events route through the sim's barrier-ordered sink, and
+	// the cross-shard bookkeeping of migration takes its RPC/rehome paths.
+	confined bool
+
 	trace TraceFunc
 
 	// failpoint, when set, is consulted at named migration steps (fault
@@ -76,6 +91,11 @@ type Cluster struct {
 
 	// The process ledger backs the exactly-once accounting invariant:
 	// every started pid must exit (or be reported crashed) exactly once.
+	// The mutex covers confined clusters, where starts and exits on
+	// different host shards book concurrently inside a window; the counts
+	// are commutative sums and the invariant checker only reads them from
+	// exclusive context, after every window has committed.
+	ledgerMu      sync.Mutex
 	ledgerStarted map[PID]int
 	ledgerEnded   map[PID]int
 
@@ -112,16 +132,41 @@ type TraceFunc func(at time.Duration, kind, detail string)
 
 // SetTrace installs an event sink (nil disables tracing). Finished metric
 // spans (migration phases, etc.) land in the same sink as "span" events.
+// On a confined cluster the sink is wired through the simulation's trace
+// sink instead: confined activities emit via Env.Emit, which buffers
+// in-window events and flushes them at the barrier in committed order, so
+// the sink observes the serial sequence under any worker count. Metric
+// spans are not traced on confined clusters (their completion would call
+// the sink from confined activities directly); the span histograms
+// themselves are still recorded.
 func (c *Cluster) SetTrace(fn TraceFunc) {
 	c.trace = fn
+	if c.confined {
+		c.sim.SetTraceSink(fn)
+		return
+	}
 	c.metrics.SetTrace(fn)
 }
 
-// emit records a trace event if a sink is installed.
+// emit records a trace event if a sink is installed. It is the exclusive-
+// context variant; paths reachable from confined activities use emitEnv.
 func (c *Cluster) emit(at time.Duration, kind, detail string) {
 	if c.trace != nil {
 		c.trace(at, kind, detail)
 	}
+}
+
+// emitEnv records a trace event from an activity. On a confined cluster it
+// routes through Env.Emit so in-window events reach the sink barrier-ordered;
+// otherwise it is exactly emit, preserving the legacy byte-identical stream.
+func (c *Cluster) emitEnv(env *sim.Env, kind, detail string) {
+	if c.confined {
+		if c.trace != nil {
+			env.Emit(kind, detail)
+		}
+		return
+	}
+	c.emit(env.Now(), kind, detail)
 }
 
 // NewCluster builds a cluster per the options.
@@ -187,6 +232,13 @@ func NewCluster(opts Options) (*Cluster, error) {
 		k := newKernel(c, host)
 		c.kernels[host] = k
 		c.workstations = append(c.workstations, k)
+	}
+	if params.Sim.ConfineHosts {
+		// Confinement must switch on only after every endpoint has
+		// registered its handlers: ConfineHosts spawns the per-host
+		// dispatcher daemons and freezes the handler tables.
+		c.confined = true
+		c.transport.ConfineHosts(func(h rpc.HostID) int { return int(h) })
 	}
 	return c, nil
 }
@@ -282,10 +334,30 @@ func (c *Cluster) Run(limit time.Duration) error { return c.sim.Run(limit) }
 func (c *Cluster) Stop() { c.sim.Stop() }
 
 // Boot spawns a driver activity at time zero. It is the usual way to inject
-// scenario code into the cluster.
+// scenario code into the cluster. On a confined cluster drivers that start,
+// join, or migrate processes must instead boot on the home host's shard via
+// BootOn; a shard-0 driver touching a confined kernel trips the simulation's
+// cross-shard checks.
 func (c *Cluster) Boot(name string, fn func(env *sim.Env) error) {
 	c.sim.Spawn(name, fn)
 }
+
+// BootOn spawns a driver activity confined to the given host's shard. It is
+// how scenario code enters a confined cluster: the driver shares the host
+// kernel's shard, so StartProcess, Wait, and RequestMigration run without
+// cross-shard coordination. On non-confined clusters every host maps to the
+// exclusive shard, so BootOn degenerates to Boot and scenarios stay portable
+// across both configurations.
+func (c *Cluster) BootOn(host rpc.HostID, name string, fn func(env *sim.Env) error) {
+	if !c.confined {
+		c.sim.Spawn(name, fn)
+		return
+	}
+	c.sim.SpawnOn(int(host), name, fn)
+}
+
+// Confined reports whether the cluster homes each host on its own shard.
+func (c *Cluster) Confined() bool { return c.confined }
 
 // Seed creates a file in the shared FS without charging virtual time
 // (scenario setup).

@@ -42,8 +42,28 @@ func (c *Cluster) FailAt(env *sim.Env, name string, pid PID) error {
 
 // --- process ledger ---
 
-func (c *Cluster) noteStart(pid PID) { c.ledgerStarted[pid]++ }
-func (c *Cluster) noteEnd(pid PID)   { c.ledgerEnded[pid]++ }
+func (c *Cluster) noteStart(pid PID) {
+	c.ledgerMu.Lock()
+	c.ledgerStarted[pid]++
+	c.ledgerMu.Unlock()
+}
+
+func (c *Cluster) noteEnd(pid PID) {
+	c.ledgerMu.Lock()
+	c.ledgerEnded[pid]++
+	c.ledgerMu.Unlock()
+}
+
+// confinedNoCrash guards the crash/restart plane on confined clusters: a
+// crash must destroy processes, wake waiters, and scrub file state across
+// every host at a single instant — inherently cross-shard work that the
+// confined contract excludes (DESIGN.md §14). Suites that inject crashes run
+// on ordinary clusters, where every host shares the exclusive shard.
+func (c *Cluster) confinedNoCrash(what string) {
+	if c.confined {
+		panic("core: " + what + " is not supported under host confinement (DESIGN.md §14)")
+	}
+}
 
 // --- host crash, restart, reboot, and reaping ---
 
@@ -100,6 +120,7 @@ func (c *Cluster) ReapedEpoch(host rpc.HostID) rpc.Epoch { return c.reapedEpochs
 // the ordinary kill path at their next migration point, closing their
 // descriptors for real — their kernels are still alive.
 func (c *Cluster) CrashHost(env *sim.Env, host rpc.HostID) {
+	c.confinedNoCrash("CrashHost")
 	epoch := rpc.Epoch(0)
 	if ep := c.transport.Endpoint(host); ep != nil {
 		epoch = ep.Epoch()
@@ -143,6 +164,7 @@ func (c *Cluster) CrashHost(env *sim.Env, host rpc.HostID) {
 // incarnation-safe sequence), so pids from before the crash are never
 // reused.
 func (c *Cluster) RestartHost(env *sim.Env, host rpc.HostID) {
+	c.confinedNoCrash("RestartHost")
 	if ep := c.transport.Endpoint(host); ep != nil {
 		ep.Restart()
 	}
@@ -156,6 +178,7 @@ func (c *Cluster) RestartHost(env *sim.Env, host rpc.HostID) {
 // under the next boot epoch. Detectors tell the reboot from an unbroken run
 // by the epoch carried in RPC replies.
 func (c *Cluster) Reboot(env *sim.Env, host rpc.HostID) {
+	c.confinedNoCrash("Reboot")
 	ep := c.transport.Endpoint(host)
 	if ep == nil {
 		return
@@ -195,6 +218,7 @@ func (c *Cluster) Reboot(env *sim.Env, host rpc.HostID) {
 //   - File servers close streams and refcounts owned by the dead epoch (a
 //     no-op when the crash itself already scrubbed them).
 func (c *Cluster) ReapDeadHost(env *sim.Env, host rpc.HostID, epoch rpc.Epoch) {
+	c.confinedNoCrash("ReapDeadHost")
 	if epoch == 0 || c.reapedEpochs[host] >= epoch {
 		return
 	}

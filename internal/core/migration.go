@@ -145,6 +145,13 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 	// phase timing or a dangling in-flight count behind.
 	var moved []*fs.Stream
 	abort := func(err error) error {
+		if k.cluster.confined {
+			// Abort recovery repairs target-side tables from the source
+			// activity — cross-shard by nature. The confined contract
+			// excludes every abort trigger (crashes, failpoints, version
+			// skew), so reaching here is a configuration bug.
+			panic(fmt.Sprintf("core: migration abort for %v under host confinement (DESIGN.md §14): %v", p.pid, err))
+		}
 		mm.abort(env)
 		if p.crashed {
 			return err
@@ -242,8 +249,11 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 	rec.PCBTime = env.Now() - tP
 	mm.next(env, "resume")
 
-	// 5. Tell the home machine where the process now lives.
-	if p.home != target {
+	// 5. Tell the home machine where the process now lives. Confined
+	// clusters always take the RPC (even migrating home), because the home
+	// record lives on the home host's shard and this activity is still on
+	// the source shard.
+	if p.home != target || k.cluster.confined {
 		if _, err := k.ep.Call(env, p.home.host, "k.updateLoc", updateLocArgs{
 			PID: p.pid, Loc: target.host,
 		}, 32); err != nil {
@@ -283,7 +293,7 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 	}
 	mm.observeTotals(&rec)
 	k.records = append(k.records, rec)
-	k.cluster.emit(env.Now(), "migration",
+	k.cluster.emitEnv(env, "migration",
 		fmt.Sprintf("%v %v->%v (%s, %s) total=%v vm=%dB files=%d",
 			p.pid, rec.From, rec.To, rec.Reason, rec.Strategy, rec.Total, rec.VMBytes, rec.Files))
 	return nil
@@ -319,6 +329,11 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 	// crash-destroyed process.
 	var moved []*fs.Stream
 	abort := func(err error) error {
+		if k.cluster.confined {
+			// Same reasoning as migrateSelf's abort: recovery is cross-shard
+			// and every abort trigger is excluded by the confined contract.
+			panic(fmt.Sprintf("core: migration abort for %v under host confinement (DESIGN.md §14): %v", p.pid, err))
+		}
 		mm.abort(env)
 		if p.crashed {
 			return err
@@ -375,7 +390,7 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 	}
 	rec.PCBTime = env.Now() - tP
 	mm.next(env, "resume")
-	if p.home != target {
+	if p.home != target || k.cluster.confined {
 		if _, err := k.ep.Call(env, p.home.host, "k.updateLoc", updateLocArgs{
 			PID: p.pid, Loc: target.host,
 		}, 32); err != nil {
@@ -403,7 +418,7 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 	rec.Freeze = rec.Total
 	mm.observeTotals(&rec)
 	k.records = append(k.records, rec)
-	k.cluster.emit(env.Now(), "exec-migration",
+	k.cluster.emitEnv(env, "exec-migration",
 		fmt.Sprintf("%v %v->%v (%s) total=%v", p.pid, rec.From, rec.To, rec.Reason, rec.Total))
 	return nil
 }
@@ -441,6 +456,15 @@ func (k *Kernel) transferStreams(env *sim.Env, p *Process, target *Kernel, rec *
 		}
 		if err := k.fsc.MoveStream(env, st, target.host); err != nil {
 			return moved, fmt.Errorf("move %s: %w", st.Path, err)
+		}
+		if k.cluster.confined {
+			// The destination client's version/size updates for this move are
+			// pended on the source client (MoveStream cannot write another
+			// shard's tables); carry them on the process, which applies them
+			// after it rehomes onto the target shard. Harvesting per call
+			// keeps concurrent migrations from the same source untangled —
+			// MoveStream cannot yield between pending and returning.
+			p.migRecon = append(p.migRecon, k.fsc.TakeReconciles()...)
 		}
 		moved = append(moved, st)
 		p.migMoved = moved
@@ -482,7 +506,7 @@ func (k *Kernel) EvictAll(env *sim.Env) error {
 		}
 		waits = append(waits, k.RequestMigration(p, target, "eviction"))
 		k.stats.Evictions++
-		k.cluster.emit(env.Now(), "eviction", fmt.Sprintf("%v evicted from %v to %v", p.pid, k.host, target.host))
+		k.cluster.emitEnv(env, "eviction", fmt.Sprintf("%v evicted from %v to %v", p.pid, k.host, target.host))
 	}
 	for _, w := range waits {
 		if _, err := w.Wait(env); err != nil {

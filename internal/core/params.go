@@ -78,6 +78,17 @@ type SimParams struct {
 	// 0 derives it from Net.Latency, the propagation delay that already
 	// lower-bounds any cross-host interaction.
 	Lookahead time.Duration
+	// ConfineHosts homes every simulated host on its own shard: RPC
+	// dispatchers, fs servers, and process activities for host H run
+	// confined to shard H, and all cross-host interaction rides mailboxes
+	// with delay >= lookahead. Combined with Parallel this dispatches the
+	// whole RPC/FS/migration plane concurrently inside lookahead windows;
+	// without Parallel it exercises the identical code path under the
+	// serial oracle (which is how equivalence is checked). Confined
+	// clusters trade generality for speed — see DESIGN.md §14 for the
+	// contract (uncontended network, no host crashes, no migration aborts,
+	// drivers pinned to host shards via BootOn).
+	ConfineHosts bool
 }
 
 // BatchParams holds the knobs of the batched, pipelined migration data

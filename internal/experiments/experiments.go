@@ -45,6 +45,10 @@ type Config struct {
 	// wallclock rows to this file as JSON (the BENCH_wallclock.json CI
 	// artifact).
 	WallclockSnapshot string
+	// ConfinedScaleSnapshot, when non-empty, makes the confined scale tier
+	// (E17ConfinedScale) write its serial-vs-parallel comparison rows to
+	// this file as JSON (the SCALE_confined.json nightly CI artifact).
+	ConfinedScaleSnapshot string
 }
 
 // Table is one reproduced table or figure, as labeled rows.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sprite/internal/core"
+	"sprite/internal/fs"
 	"sprite/internal/sim"
 	"sprite/internal/workload"
 )
@@ -25,14 +26,19 @@ import (
 // e17Row is one kernel configuration's measurement, and the JSON shape of
 // the BENCH_wallclock.json artifact.
 type e17Row struct {
-	Kernel  string  `json:"kernel"` // "serial" or "parallel"
-	Workers int     `json:"workers"`
-	Hosts   int     `json:"hosts"`
-	Cores   int     `json:"cores"` // runtime.NumCPU() — speedup is bounded by this
-	Reps    int     `json:"reps"`
-	WallMs  float64 `json:"wall_ms"` // best of Reps
-	Speedup float64 `json:"speedup_vs_serial"`
-	Digest  string  `json:"order_digest"`
+	// Workload names the measured plane: "daemons" is the original fleet of
+	// confined per-host load daemons around an exclusive cluster plane;
+	// "migration" is the migration-heavy confined-hosts workload, where the
+	// whole RPC/FS/migration plane runs shard-confined (DESIGN.md §14).
+	Workload string  `json:"workload"`
+	Kernel   string  `json:"kernel"` // "serial" or "parallel"
+	Workers  int     `json:"workers"`
+	Hosts    int     `json:"hosts"`
+	Cores    int     `json:"cores"` // runtime.NumCPU() — speedup is bounded by this
+	Reps     int     `json:"reps"`
+	WallMs   float64 `json:"wall_ms"` // best of Reps
+	Speedup  float64 `json:"speedup_vs_serial"`
+	Digest   string  `json:"order_digest"`
 }
 
 // e17Shape fixes the workload dimensions for one scale.
@@ -91,14 +97,101 @@ func e17Measure(seed int64, workers int, shape e17Shape) (time.Duration, uint64,
 	return time.Since(start), c.Sim().OrderDigest(), nil
 }
 
+// e17MigShape fixes the migration-heavy confined workload's dimensions.
+type e17MigShape struct {
+	hosts  int // confined workstations, one shard each
+	procs  int // migrating processes started per host
+	rounds int // touch + compute + migrate rounds per process
+}
+
+// e17MigMeasure runs the migration-heavy workload once with every host
+// confined to its own shard (DESIGN.md §14): per-host drivers boot on their
+// host's shard and start processes that fault pages, compute, and hop
+// around the ring, so RPC dispatch, fs traffic, page transfer, and the
+// migrations themselves all execute inside lookahead windows. The VM
+// strategies round-robin across hosts so each one's source- and target-side
+// work is part of the measurement.
+func e17MigMeasure(seed int64, workers int, shape e17MigShape) (time.Duration, uint64, error) {
+	params := core.DefaultParams()
+	params.Sim.ConfineHosts = true
+	if workers > 0 {
+		params.Sim.Parallel = true
+		params.Sim.Workers = workers
+	}
+	c, err := core.NewCluster(core.Options{Workstations: shape.hosts, FileServers: 2, Seed: seed, Params: &params})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := c.SeedBinary("/bin/prog", 32<<10); err != nil {
+		return 0, 0, err
+	}
+	if _, err := c.FS().SeedSized("/data/shared", 64<<10, false); err != nil {
+		return 0, 0, err
+	}
+	ws := c.Workstations()
+	strategies := []core.TransferStrategy{
+		core.SpriteFlushStrategy{},
+		core.FullCopyStrategy{},
+		core.CopyOnReferenceStrategy{},
+		core.PreCopyStrategy{RedirtyPagesPerSec: 100},
+	}
+	for i := range ws {
+		i := i
+		k := ws[i]
+		k.SetStrategy(strategies[i%len(strategies)])
+		c.BootOn(k.Host(), fmt.Sprintf("mig-driver-%d", i), func(env *sim.Env) error {
+			procs := make([]*core.Process, 0, shape.procs)
+			for j := 0; j < shape.procs; j++ {
+				j := j
+				p, err := k.StartProcess(env, fmt.Sprintf("m-%d-%d", i, j), func(ctx *core.Ctx) error {
+					fd, err := ctx.Open("/data/shared", fs.ReadMode, fs.OpenOptions{})
+					if err != nil {
+						return err
+					}
+					for r := 0; r < shape.rounds; r++ {
+						if err := ctx.TouchHeap(0, 16, true); err != nil {
+							return err
+						}
+						if _, err := ctx.Read(fd, 2048); err != nil {
+							return err
+						}
+						if err := ctx.Compute(25 * time.Millisecond); err != nil {
+							return err
+						}
+						if err := ctx.Migrate(ws[(i+j+r+1)%len(ws)].Host()); err != nil {
+							return err
+						}
+					}
+					return ctx.Close(fd)
+				}, core.ProcConfig{Binary: "/bin/prog", CodePages: 2, HeapPages: 16, StackPages: 1})
+				if err != nil {
+					return err
+				}
+				procs = append(procs, p)
+			}
+			for _, p := range procs {
+				if _, err := p.Exited().Wait(env); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	start := time.Now()
+	if err := c.Run(0); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), c.Sim().OrderDigest(), nil
+}
+
 // e17Best returns the best-of-reps wallclock (the standard way to strip
 // scheduler noise from a throughput measurement) plus the digest, which
-// must not vary across reps.
-func e17Best(seed int64, workers, reps int, shape e17Shape) (time.Duration, uint64, error) {
+// must not vary across reps. measure abstracts over the two workloads.
+func e17Best(reps int, measure func() (time.Duration, uint64, error)) (time.Duration, uint64, error) {
 	var best time.Duration
 	var digest uint64
 	for r := 0; r < reps; r++ {
-		wall, d, err := e17Measure(seed, workers, shape)
+		wall, d, err := measure()
 		if err != nil {
 			return 0, 0, err
 		}
@@ -116,22 +209,59 @@ func e17Best(seed int64, workers, reps int, shape e17Shape) (time.Duration, uint
 	return best, digest, nil
 }
 
+// e17Sweep runs one workload's serial oracle plus a parallel worker sweep,
+// enforcing digest equality across every kernel, and returns the rows.
+func e17Sweep(workload string, hosts, reps int, workerCounts []int,
+	measure func(workers int) (time.Duration, uint64, error)) ([]*e17Row, error) {
+	serialWall, serialDigest, err := e17Best(reps, func() (time.Duration, uint64, error) { return measure(0) })
+	if err != nil {
+		return nil, err
+	}
+	cores := runtime.NumCPU()
+	rows := []*e17Row{{
+		Workload: workload, Kernel: "serial", Hosts: hosts, Cores: cores, Reps: reps,
+		WallMs: float64(serialWall) / 1e6, Speedup: 1.0,
+		Digest: fmt.Sprintf("%#x", serialDigest),
+	}}
+	for _, w := range workerCounts {
+		w := w
+		wall, digest, err := e17Best(reps, func() (time.Duration, uint64, error) { return measure(w) })
+		if err != nil {
+			return nil, err
+		}
+		if digest != serialDigest {
+			return nil, fmt.Errorf("E17 %s: workers=%d committed a different order (%#x) than serial (%#x) — kernel bug", workload, w, digest, serialDigest)
+		}
+		rows = append(rows, &e17Row{
+			Workload: workload, Kernel: "parallel", Workers: w, Hosts: hosts, Cores: cores, Reps: reps,
+			WallMs: float64(wall) / 1e6, Speedup: float64(serialWall) / float64(wall),
+			Digest: fmt.Sprintf("%#x", digest),
+		})
+	}
+	return rows, nil
+}
+
 // E17ParallelWallclock measures the conservative parallel kernel's
-// multi-core speedup on the combined cluster + per-host-daemon workload and
-// proves, in the same run, that worker count never changes the committed
-// event order. Quick shrinks the fleet; Config.Hosts overrides it.
-// Config.WallclockSnapshot writes the rows as BENCH_wallclock.json.
+// multi-core speedup and proves, in the same run, that worker count never
+// changes the committed event order. Two workloads run back to back: the
+// original cluster + per-host-daemon fleet ("daemons"), and the
+// migration-heavy confined-hosts plane ("migration"), where RPC service,
+// fs/vm traffic, and the migrations themselves dispatch concurrently
+// because every host kernel lives on its own shard. Quick shrinks both;
+// Config.Hosts overrides the daemon fleet. Config.WallclockSnapshot writes
+// the rows as BENCH_wallclock.json.
 func E17ParallelWallclock(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E17",
 		Title:    "Parallel kernel wallclock speedup (fixed workload, varying kernel)",
 		PaperRef: "conservative parallel DES over the Sprite cluster model; order is a pure function of (program, seed)",
-		Columns:  []string{"kernel", "workers", "hosts", "wall ms", "speedup", "digest"},
+		Columns:  []string{"workload", "kernel", "workers", "hosts", "wall ms", "speedup", "digest"},
 	}
 	shape := e17Shape{hosts: 1000, ticks: 300}
+	migShape := e17MigShape{hosts: 32, procs: 4, rounds: 6}
 	reps := 3
 	if cfg.Quick {
-		shape, reps = e17Shape{hosts: 64, ticks: 100}, 1
+		shape, migShape, reps = e17Shape{hosts: 64, ticks: 100}, e17MigShape{hosts: 8, procs: 2, rounds: 3}, 1
 	}
 	if cfg.Hosts > 0 {
 		shape.hosts = cfg.Hosts
@@ -141,36 +271,24 @@ func E17ParallelWallclock(cfg Config) (*Table, error) {
 		workerCounts = append(workerCounts, 8)
 	}
 
-	serialWall, serialDigest, err := e17Best(cfg.Seed, 0, reps, shape)
+	rows, err := e17Sweep("daemons", shape.hosts, reps, workerCounts,
+		func(workers int) (time.Duration, uint64, error) { return e17Measure(cfg.Seed, workers, shape) })
 	if err != nil {
 		return nil, err
 	}
-	cores := runtime.NumCPU()
-	rows := []*e17Row{{
-		Kernel: "serial", Hosts: shape.hosts, Cores: cores, Reps: reps,
-		WallMs: float64(serialWall) / 1e6, Speedup: 1.0,
-		Digest: fmt.Sprintf("%#x", serialDigest),
-	}}
-	for _, w := range workerCounts {
-		wall, digest, err := e17Best(cfg.Seed, w, reps, shape)
-		if err != nil {
-			return nil, err
-		}
-		if digest != serialDigest {
-			return nil, fmt.Errorf("E17: workers=%d committed a different order (%#x) than serial (%#x) — kernel bug", w, digest, serialDigest)
-		}
-		rows = append(rows, &e17Row{
-			Kernel: "parallel", Workers: w, Hosts: shape.hosts, Cores: cores, Reps: reps,
-			WallMs: float64(wall) / 1e6, Speedup: float64(serialWall) / float64(wall),
-			Digest: fmt.Sprintf("%#x", digest),
-		})
+	migRows, err := e17Sweep("migration", migShape.hosts, reps, workerCounts,
+		func(workers int) (time.Duration, uint64, error) { return e17MigMeasure(cfg.Seed, workers, migShape) })
+	if err != nil {
+		return nil, err
 	}
+	rows = append(rows, migRows...)
 	for _, r := range rows {
-		t.AddRow(r.Kernel, fmt.Sprintf("%d", r.Workers), fmt.Sprintf("%d", r.Hosts),
+		t.AddRow(r.Workload, r.Kernel, fmt.Sprintf("%d", r.Workers), fmt.Sprintf("%d", r.Hosts),
 			fmt.Sprintf("%.1f", r.WallMs), fmt.Sprintf("%.2fx", r.Speedup), r.Digest)
 	}
-	t.AddNote("identical digests across every row: worker count is not an input to the simulation")
-	t.AddNote("measured on %d cores; speedup is meaningful only when cores >= workers", cores)
+	t.AddNote("identical digests within each workload: worker count is not an input to the simulation")
+	t.AddNote("migration rows run with ConfineHosts: host kernels, RPC loops, and migrations are shard-confined")
+	t.AddNote("measured on %d cores; speedup is meaningful only when cores >= workers", runtime.NumCPU())
 	if cfg.WallclockSnapshot != "" {
 		data, err := json.MarshalIndent(rows, "", "  ")
 		if err != nil {
@@ -180,6 +298,73 @@ func E17ParallelWallclock(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		t.AddNote("wallclock rows written to %s", cfg.WallclockSnapshot)
+	}
+	return t, nil
+}
+
+// E17ConfinedScale is the nightly fleet-scale tier of the confined-hosts
+// plane: the migration-heavy workload at 10,000 hosts (Config.Hosts
+// overrides), run once under the serial oracle and once under the parallel
+// kernel at 4 workers. The run FAILS — not merely notes — if the two
+// kernels commit different order digests at this scale, which is the
+// regression the small equivalence suites could miss. The serial and
+// parallel wallclocks land in Config.ConfinedScaleSnapshot as the
+// SCALE_confined.json comparison artifact.
+func E17ConfinedScale(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:       "E17s",
+		Title:    "Confined-hosts scale tier: serial vs parallel at fleet scale",
+		PaperRef: "per-host shards over the Sprite cluster model (DESIGN.md §14); digests must agree at any scale",
+		Columns:  []string{"workload", "kernel", "workers", "hosts", "wall ms", "speedup", "digest"},
+	}
+	hosts := 10000
+	if cfg.Hosts > 0 {
+		hosts = cfg.Hosts
+	}
+	if cfg.Quick && cfg.Hosts == 0 {
+		hosts = 200
+	}
+	shape := e17MigShape{hosts: hosts, procs: 2, rounds: 3}
+	serialWall, serialDigest, err := e17MigMeasure(cfg.Seed, 0, shape)
+	if err != nil {
+		return nil, err
+	}
+	const workers = 4
+	parWall, parDigest, err := e17MigMeasure(cfg.Seed, workers, shape)
+	if err != nil {
+		return nil, err
+	}
+	if parDigest != serialDigest {
+		return nil, fmt.Errorf("E17 scale: %d-host confined tier diverged: serial digest %#x, parallel(%d) %#x — kernel bug", hosts, serialDigest, workers, parDigest)
+	}
+	cores := runtime.NumCPU()
+	rows := []*e17Row{
+		{
+			Workload: "migration-scale", Kernel: "serial", Hosts: hosts, Cores: cores, Reps: 1,
+			WallMs: float64(serialWall) / 1e6, Speedup: 1.0,
+			Digest: fmt.Sprintf("%#x", serialDigest),
+		},
+		{
+			Workload: "migration-scale", Kernel: "parallel", Workers: workers, Hosts: hosts, Cores: cores, Reps: 1,
+			WallMs: float64(parWall) / 1e6, Speedup: float64(serialWall) / float64(parWall),
+			Digest: fmt.Sprintf("%#x", parDigest),
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Kernel, fmt.Sprintf("%d", r.Workers), fmt.Sprintf("%d", r.Hosts),
+			fmt.Sprintf("%.1f", r.WallMs), fmt.Sprintf("%.2fx", r.Speedup), r.Digest)
+	}
+	t.AddNote("digests agree at %d hosts: the confined plane commits the serial order at fleet scale", hosts)
+	t.AddNote("measured on %d cores; speedup is meaningful only when cores >= workers", cores)
+	if cfg.ConfinedScaleSnapshot != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.ConfinedScaleSnapshot, data, 0o644); err != nil {
+			return nil, err
+		}
+		t.AddNote("comparison rows written to %s", cfg.ConfinedScaleSnapshot)
 	}
 	return t, nil
 }

@@ -4,6 +4,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 )
 
 // TestE17DigestsAgree runs the wallclock experiment's workload at quick
@@ -18,6 +19,27 @@ func TestE17DigestsAgree(t *testing.T) {
 	}
 	for _, w := range []int{1, 2, 4, 8} {
 		_, got, err := e17Measure(5, w, shape)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d digest %#x, serial %#x", w, got, want)
+		}
+	}
+}
+
+// TestE17MigrationDigestsAgree is the confined-hosts counterpart of
+// TestE17DigestsAgree: the migration-heavy workload, with every host kernel
+// shard-confined, must commit the identical event order under the serial
+// oracle and the parallel kernel at every worker count.
+func TestE17MigrationDigestsAgree(t *testing.T) {
+	shape := e17MigShape{hosts: 6, procs: 2, rounds: 3}
+	_, want, err := e17MigMeasure(5, 0, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		_, got, err := e17MigMeasure(5, w, shape)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
@@ -60,11 +82,11 @@ func TestParallelSpeedupGate(t *testing.T) {
 		t.Skipf("need >= 4 cores for a 4-worker speedup gate, have %d", runtime.NumCPU())
 	}
 	shape := e17Shape{hosts: 1000, ticks: 300}
-	serial, sd, err := e17Best(7, 0, 3, shape)
+	serial, sd, err := e17Best(3, func() (time.Duration, uint64, error) { return e17Measure(7, 0, shape) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, pd, err := e17Best(7, 4, 3, shape)
+	par, pd, err := e17Best(3, func() (time.Duration, uint64, error) { return e17Measure(7, 4, shape) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,5 +97,37 @@ func TestParallelSpeedupGate(t *testing.T) {
 	t.Logf("serial %v, parallel(4) %v, speedup %.2fx on %d cores", serial, par, speedup, runtime.NumCPU())
 	if speedup < 2.0 {
 		t.Fatalf("speedup %.2fx below the 2x gate (serial %v, parallel %v)", speedup, serial, par)
+	}
+}
+
+// TestConfinedMigrationSpeedupGate is the issue's acceptance gate for the
+// confined-hosts plane: with host kernels, RPC service loops, and the
+// migration machinery all shard-confined, the parallel kernel at 4 workers
+// must run the migration-heavy workload at least 2x faster than the serial
+// oracle — and commit the identical order while doing it. Opt-in for the
+// same reason as TestParallelSpeedupGate.
+func TestConfinedMigrationSpeedupGate(t *testing.T) {
+	if os.Getenv("SPRITE_WALLCLOCK_GATE") == "" {
+		t.Skip("set SPRITE_WALLCLOCK_GATE=1 to enforce the speedup gate")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 cores for a 4-worker speedup gate, have %d", runtime.NumCPU())
+	}
+	shape := e17MigShape{hosts: 32, procs: 4, rounds: 6}
+	serial, sd, err := e17Best(3, func() (time.Duration, uint64, error) { return e17MigMeasure(7, 0, shape) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, pd, err := e17Best(3, func() (time.Duration, uint64, error) { return e17MigMeasure(7, 4, shape) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd != pd {
+		t.Fatalf("digest mismatch: serial %#x parallel %#x", sd, pd)
+	}
+	speedup := float64(serial) / float64(par)
+	t.Logf("confined migration: serial %v, parallel(4) %v, speedup %.2fx on %d cores", serial, par, speedup, runtime.NumCPU())
+	if speedup < 2.0 {
+		t.Fatalf("confined migration speedup %.2fx below the 2x gate (serial %v, parallel %v)", speedup, serial, par)
 	}
 }

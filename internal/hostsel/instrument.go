@@ -55,14 +55,15 @@ func (i *Instrumented) Name() string { return i.inner.Name() }
 func (i *Instrumented) RequestHosts(env *sim.Env, client rpc.HostID, n int) ([]rpc.HostID, error) {
 	start := env.Now()
 	hosts, err := i.inner.RequestHosts(env, client, n)
-	i.requestT.Observe(env.Now() - start)
-	i.requests.Inc()
-	i.granted.Add(int64(len(hosts)))
+	slot := sim.WorkerSlot(env)
+	i.requestT.ObserveSlot(slot, env.Now()-start)
+	i.requests.IncSlot(slot)
+	i.granted.AddSlot(slot, int64(len(hosts)))
 	if err != nil || len(hosts) < n {
-		i.denied.Inc()
+		i.denied.IncSlot(slot)
 	}
 	if err != nil {
-		i.errs.Inc()
+		i.errs.IncSlot(slot)
 	}
 	return hosts, err
 }
@@ -71,9 +72,10 @@ func (i *Instrumented) RequestHosts(env *sim.Env, client rpc.HostID, n int) ([]r
 func (i *Instrumented) Release(env *sim.Env, client rpc.HostID, hosts []rpc.HostID) error {
 	start := env.Now()
 	err := i.inner.Release(env, client, hosts)
-	i.releaseT.Observe(env.Now() - start)
+	slot := sim.WorkerSlot(env)
+	i.releaseT.ObserveSlot(slot, env.Now()-start)
 	if err != nil {
-		i.errs.Inc()
+		i.errs.IncSlot(slot)
 	}
 	return err
 }
@@ -82,9 +84,10 @@ func (i *Instrumented) Release(env *sim.Env, client rpc.HostID, hosts []rpc.Host
 func (i *Instrumented) NotifyAvailability(env *sim.Env, host rpc.HostID, available bool) error {
 	start := env.Now()
 	err := i.inner.NotifyAvailability(env, host, available)
-	i.notifyT.Observe(env.Now() - start)
+	slot := sim.WorkerSlot(env)
+	i.notifyT.ObserveSlot(slot, env.Now()-start)
 	if err != nil {
-		i.errs.Inc()
+		i.errs.IncSlot(slot)
 	}
 	return err
 }

@@ -524,7 +524,7 @@ func (p *Probabilistic) RequestHosts(env *sim.Env, client rpc.HostID, n int) ([]
 		}
 		p.stats.Messages++
 		if p.ageT != nil {
-			p.ageT.Observe(cd.Age)
+			p.ageT.ObserveSlot(sim.WorkerSlot(env), cd.Age)
 		}
 		reply, err := ep.Call(env, cd.Host, "hs.claim", claimArgs{Client: client}, 16)
 		if err != nil {

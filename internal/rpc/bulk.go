@@ -64,31 +64,42 @@ func (e *Endpoint) CallBulk(env *sim.Env, to HostID, service string, arg any, ar
 	var bs BulkStats
 	target, ok := t.endpoints[to]
 	if !ok {
-		t.record(to, service, argSize, true)
+		t.record(env, to, service, argSize, true)
 		return nil, bs, fmt.Errorf("%w: %v", ErrNoHost, to)
 	}
 	if target.down || e.down {
-		t.record(to, service, argSize, true)
+		t.record(env, to, service, argSize, true)
 		return nil, bs, fmt.Errorf("%w: %v", ErrHostDown, to)
+	}
+	if e.host == to {
+		// Local shortcut: no network, no protocol overhead, no faults.
+		h, ok := target.services[service]
+		if !ok {
+			t.record(env, to, service, argSize, true)
+			return nil, bs, fmt.Errorf("%w: %s on %v", ErrNoService, service, to)
+		}
+		bs.Calls = 1
+		reply, _, err := h(env, e.host, arg)
+		t.record(env, to, service, 0, err != nil)
+		return reply, bs, err
+	}
+	if t.confined {
+		// Per-host shard delivery: the handler hops to the server's shard;
+		// the service lookup happens there too.
+		return e.callBulkConfined(env, target, service, arg, argSize, payloadBytes, dir)
 	}
 	h, ok := target.services[service]
 	if !ok {
-		t.record(to, service, argSize, true)
+		t.record(env, to, service, argSize, true)
 		return nil, bs, fmt.Errorf("%w: %s on %v", ErrNoService, service, to)
 	}
 	bs.Calls = 1
-	if e.host == to {
-		// Local shortcut: no network, no protocol overhead, no faults.
-		reply, _, err := h(env, e.host, arg)
-		t.record(to, service, 0, err != nil)
-		return reply, bs, err
-	}
 	if err := env.Sleep(t.params.ClientOverhead); err != nil {
 		return nil, bs, err
 	}
 	wire := argSize + t.fragOverhead()
 	if err := e.bulkControl(env, target, service, argSize, t.fragOverhead()); err != nil {
-		t.record(to, service, wire, true)
+		t.record(env, to, service, wire, true)
 		return nil, bs, err
 	}
 	var reply any
@@ -99,8 +110,8 @@ func (e *Endpoint) CallBulk(env *sim.Env, to HostID, service string, arg any, ar
 		w, err := e.streamFragments(env, target, service, payloadBytes, &bs)
 		wire += w
 		if err != nil {
-			t.record(to, service, wire, true)
-			t.recordBulk(&bs)
+			t.record(env, to, service, wire, true)
+			t.recordBulk(env, &bs)
 			return nil, bs, err
 		}
 		reply, replySize, herr = h(env, e.host, arg)
@@ -108,8 +119,8 @@ func (e *Endpoint) CallBulk(env *sim.Env, to HostID, service string, arg any, ar
 		// normal reply (the server answers retransmissions from its
 		// cached reply without re-running the handler).
 		if err := e.bulkControl(env, target, service, replySize, 0); err != nil {
-			t.record(to, service, wire+replySize, true)
-			t.recordBulk(&bs)
+			t.record(env, to, service, wire+replySize, true)
+			t.recordBulk(env, &bs)
 			return nil, bs, err
 		}
 		wire += replySize
@@ -119,20 +130,20 @@ func (e *Endpoint) CallBulk(env *sim.Env, to HostID, service string, arg any, ar
 			w, err := e.streamFragments(env, target, service, replySize, &bs)
 			wire += w
 			if err != nil {
-				t.record(to, service, wire, true)
-				t.recordBulk(&bs)
+				t.record(env, to, service, wire, true)
+				t.recordBulk(env, &bs)
 				return nil, bs, err
 			}
 		} else if err := e.bulkControl(env, target, service, t.fragOverhead(), 0); err != nil {
 			// The error reply is a plain small message.
-			t.record(to, service, wire, true)
+			t.record(env, to, service, wire, true)
 			return nil, bs, err
 		}
 	default:
 		return nil, bs, fmt.Errorf("rpc: unknown bulk direction %d", dir)
 	}
-	t.record(to, service, wire, herr != nil)
-	t.recordBulk(&bs)
+	t.record(env, to, service, wire, herr != nil)
+	t.recordBulk(env, &bs)
 	return reply, bs, herr
 }
 
@@ -161,14 +172,15 @@ func (t *Transport) window() int {
 }
 
 // recordBulk folds one transfer's stats into the bulk metrics counters.
-func (t *Transport) recordBulk(bs *BulkStats) {
+func (t *Transport) recordBulk(env *sim.Env, bs *BulkStats) {
 	if t.m.reg == nil {
 		return
 	}
-	t.m.bulkCalls.Inc()
-	t.m.bulkBytes.Add(int64(bs.Bytes))
-	t.m.bulkFragments.Add(int64(bs.Fragments))
-	t.m.bulkRetransmits.Add(int64(bs.Retransmits))
+	slot := sim.WorkerSlot(env)
+	t.m.bulkCalls.IncSlot(slot)
+	t.m.bulkBytes.AddSlot(slot, int64(bs.Bytes))
+	t.m.bulkFragments.AddSlot(slot, int64(bs.Fragments))
+	t.m.bulkRetransmits.AddSlot(slot, int64(bs.Retransmits))
 }
 
 // bulkControl delivers one small control round trip (handshake or final

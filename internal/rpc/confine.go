@@ -1,0 +1,413 @@
+// Confined-mode RPC: per-host shard delivery.
+//
+// The default transport executes a service handler inline in the calling
+// activity, which is only safe when every activity runs exclusively. When the
+// cluster confines each host to its own shard (sim.SpawnOn), a handler must
+// run on the *server's* shard — it touches the server host's kernel state —
+// so the request travels through a mailbox homed there, a dispatcher daemon
+// spawns a handler activity per request, and the reply travels back through a
+// per-call mailbox homed on the caller's shard. Both legs carry propagation
+// latency plus size-dependent transfer time, and the latency doubles as the
+// conservative lookahead bound, so deliveries always land beyond the current
+// window's horizon.
+//
+// Loss recovery keeps Sprite RPC's shape: the client retransmits after
+// CallTimeout with exponential backoff, and the server suppresses duplicates
+// by (caller, transaction id), answering retransmissions of an executed call
+// from the cached reply without re-running the handler (at-most-once, after
+// Birrell & Nelson). With no injector and no network hook nothing is ever
+// lost, so the client waits without a timeout and the cache is never
+// allocated — the fleet-scale no-fault runs pay none of the bookkeeping.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+
+	"sprite/internal/sim"
+)
+
+// ConfineHosts switches the transport to per-host shard delivery: every
+// registered endpoint is assigned the shard shardOf(host), given a request
+// mailbox homed there, and served by a dispatcher daemon spawned on it.
+// Call then routes every remote call through the mailboxes under both
+// kernels, so serial runs replay the exact event sequence parallel runs
+// commit.
+//
+// ConfineHosts must run after all hosts are registered and before Run, from
+// the exclusive setup context. It refuses a contended network (the shared
+// medium is cluster-global state no shard may block on) and requires
+// 0 < lookahead <= one-way latency, the conservative contract that makes
+// cross-shard delivery safe.
+func (t *Transport) ConfineHosts(shardOf func(HostID) int) {
+	if t.confined {
+		panic("rpc: ConfineHosts called twice")
+	}
+	if shardOf == nil {
+		panic("rpc: ConfineHosts with nil shardOf")
+	}
+	if t.net.Contended() {
+		panic("rpc: ConfineHosts over a contended network; the shared medium serializes all hosts")
+	}
+	la := t.sim.Lookahead()
+	if lat := t.net.Latency(); la <= 0 || lat < la {
+		panic(fmt.Sprintf("rpc: ConfineHosts needs 0 < lookahead <= latency (lookahead %v, latency %v)", la, lat))
+	}
+	t.shardOf = shardOf
+	if t.m.reg != nil {
+		t.precreateHostCounters()
+	}
+	t.confined = true
+	for _, id := range t.Hosts() {
+		ep := t.endpoints[id]
+		shard := shardOf(id)
+		if shard <= 0 {
+			panic(fmt.Sprintf("rpc: ConfineHosts mapped %v to shard %d; hosts need confined shards (> 0)", id, shard))
+		}
+		ep.shard = shard
+		ep.reqBox = sim.NewMailboxOn(t.sim, shard, t.net.Latency())
+		t.sim.SpawnOn(shard, fmt.Sprintf("rpcd-%v", id), ep.dispatchLoop)
+	}
+}
+
+// confReq is one request message: everything the server needs to execute the
+// call and route the reply home.
+type confReq struct {
+	from    HostID
+	xid     uint64
+	service string
+	arg     any
+	reply   *sim.Mailbox // homed on the caller's shard
+
+	// dup marks the wasted wire image of a Duplicate verdict; the server's
+	// transaction check discards it without touching the call.
+	dup bool
+	// dropReply marks this attempt's reply as eaten by the injector: the
+	// server executes (and caches) but withholds the answer.
+	dropReply bool
+	// internal marks a bulk-transfer execution hop: the wire cost of the
+	// payload was already charged by the fragment stream, so the reply
+	// rides back on bare latency with no accounting and no piggybacks.
+	internal bool
+}
+
+// confReply is the server's answer, carrying the reply piggybacks that
+// ordinary traffic spreads: the boot epoch and the hint payload.
+type confReply struct {
+	value any
+	size  int
+	err   error
+	epoch Epoch
+	hint  any
+}
+
+// confKey identifies a transaction for duplicate suppression. Transaction
+// ids are per calling endpoint, so the caller is part of the key.
+type confKey struct {
+	from HostID
+	xid  uint64
+}
+
+// confEntry tracks one transaction on the server: rep is nil while the
+// handler is still executing, and retransmissions that arrive in that window
+// park in pending to be answered when it finishes — the handler still runs
+// exactly once.
+type confEntry struct {
+	rep     *confReply
+	pending []*confReq
+}
+
+// dispatchLoop is the endpoint's server daemon: it receives requests from
+// the host's mailbox and spawns a handler activity per call, so a slow
+// handler (disk, nested RPC) never head-of-line-blocks the endpoint. It is
+// a daemon — bounded runs quiesce cleanly with it parked in Recv.
+func (ep *Endpoint) dispatchLoop(env *sim.Env) error {
+	env.MarkDaemon()
+	t := ep.transport
+	var cache map[confKey]*confEntry
+	for {
+		v, err := ep.reqBox.Recv(env)
+		if err != nil {
+			return nil
+		}
+		req := v.(*confReq)
+		if req.dup {
+			// The duplicate occupied the wire; the transaction check
+			// discards it.
+			continue
+		}
+		if ep.down {
+			// A down host answers with a channel reset rather than
+			// leaving the caller to hang on an internal hop.
+			ep.sendConfReply(env, req, &confReply{
+				err:   fmt.Errorf("%w: %v", ErrHostDown, ep.host),
+				epoch: ep.epoch,
+			})
+			continue
+		}
+		if req.internal {
+			// Bulk execution hop: reliable, no transaction bookkeeping.
+			ep.execAsync(env, req, nil)
+			continue
+		}
+		if t.faulty() && cache == nil {
+			cache = make(map[confKey]*confEntry)
+		}
+		if cache == nil {
+			ep.execAsync(env, req, nil)
+			continue
+		}
+		k := confKey{req.from, req.xid}
+		if ent, ok := cache[k]; ok {
+			if ent.rep != nil {
+				// Retransmission of an executed call: answer from the
+				// cached reply, handler not re-run.
+				ep.sendConfReply(env, req, ent.rep)
+			} else {
+				ent.pending = append(ent.pending, req)
+			}
+			continue
+		}
+		ent := &confEntry{}
+		cache[k] = ent
+		ep.execAsync(env, req, ent)
+	}
+}
+
+// execAsync runs the handler in a fresh activity on the server's shard and
+// routes the reply (and any parked retransmissions') back to the caller.
+func (ep *Endpoint) execAsync(env *sim.Env, req *confReq, ent *confEntry) {
+	env.Spawn(fmt.Sprintf("rpc-%v-%s", ep.host, req.service), func(henv *sim.Env) error {
+		rep := ep.execConfined(henv, req)
+		if ent != nil {
+			ent.rep = rep
+			pending := ent.pending
+			ent.pending = nil
+			for _, dup := range pending {
+				ep.sendConfReply(henv, dup, rep)
+			}
+		}
+		ep.sendConfReply(henv, req, rep)
+		return nil
+	})
+}
+
+// execConfined looks the service up and runs it on the server's shard,
+// capturing the reply piggybacks at execution time so a retransmitted
+// (cached) reply carries the same epoch and hints.
+func (ep *Endpoint) execConfined(env *sim.Env, req *confReq) *confReply {
+	h, ok := ep.services[req.service]
+	if !ok {
+		return &confReply{
+			err:   fmt.Errorf("%w: %s on %v", ErrNoService, req.service, ep.host),
+			epoch: ep.epoch,
+		}
+	}
+	value, size, herr := h(env, req.from, req.arg)
+	rep := &confReply{value: value, size: size, err: herr, epoch: ep.epoch}
+	if !req.internal && ep.hints != nil {
+		var hs int
+		rep.hint, hs = ep.hints()
+		rep.size += hs
+	}
+	return rep
+}
+
+// sendConfReply books the reply on the network and posts it to the caller's
+// mailbox. A dropReply attempt or a hook drop withholds it — the caller's
+// timeout does the rest.
+func (ep *Endpoint) sendConfReply(env *sim.Env, req *confReq, rep *confReply) {
+	t := ep.transport
+	if req.internal {
+		req.reply.SendAfter(env, rep, t.net.Latency())
+		return
+	}
+	if req.dropReply {
+		return
+	}
+	xfer, extra, drop := t.net.Account(env, rep.size)
+	if drop {
+		return
+	}
+	req.reply.SendAfter(env, rep, t.net.Latency()+xfer+extra)
+}
+
+// callConfined is Call's remote path under confinement: the Sprite RPC
+// client loop with the handler execution moved to the server's shard. The
+// injector's verdicts are still taken client-side, once per attempt, in the
+// same order as the inline path.
+func (e *Endpoint) callConfined(env *sim.Env, target *Endpoint, service string, arg any, argSize int) (any, error) {
+	t := e.transport
+	to := target.host
+	if s := env.Shard(); s != 0 && s != e.shard {
+		panic(fmt.Sprintf("rpc: call via %v's endpoint from foreign shard %d (home %d)", e.host, s, e.shard))
+	}
+	if err := env.Sleep(t.params.ClientOverhead); err != nil {
+		return nil, err
+	}
+	replyBox := sim.NewMailboxOn(t.sim, env.Shard(), 0)
+	e.xidSeq++
+	xid := e.xidSeq
+	for attempt := 0; ; attempt++ {
+		// A host that went down between attempts fails fast, like a channel
+		// reset in Sprite RPC.
+		if target.down || e.down {
+			t.record(env, to, service, argSize, true)
+			return nil, fmt.Errorf("%w: %v", ErrHostDown, to)
+		}
+		var v Verdict
+		if t.injector != nil {
+			v = t.injector.Intercept(env, e.host, to, service, attempt)
+		}
+		if v.Delay > 0 {
+			if err := env.Sleep(v.Delay); err != nil {
+				return nil, err
+			}
+		}
+		sent := false
+		if !v.DropRequest {
+			xfer, extra, drop := t.net.Account(env, argSize)
+			if !drop {
+				target.reqBox.SendAfter(env, &confReq{
+					from: e.host, xid: xid, service: service, arg: arg,
+					reply: replyBox, dropReply: v.DropReply,
+				}, t.net.Latency()+xfer+extra)
+				sent = true
+				if v.Duplicate {
+					// The duplicate occupies the wire; the server's
+					// transaction check discards it on arrival.
+					if dxfer, dextra, ddrop := t.net.Account(env, argSize); !ddrop {
+						target.reqBox.SendAfter(env, &confReq{
+							from: e.host, xid: xid, service: service, dup: true, reply: replyBox,
+						}, t.net.Latency()+dxfer+dextra)
+					}
+				}
+			}
+		}
+		if sent {
+			var rv any
+			var rerr error
+			if t.faulty() {
+				rv, rerr = replyBox.RecvTimeout(env, t.callTimeout())
+			} else {
+				// Nothing can be lost: wait for the reply however long the
+				// handler takes, exactly like the inline path.
+				rv, rerr = replyBox.Recv(env)
+			}
+			if rerr == nil {
+				rep := rv.(*confReply)
+				t.record(env, to, service, argSize+rep.size, rep.err != nil)
+				if t.observer != nil {
+					t.observer(to, rep.epoch)
+				}
+				if t.hintObs != nil && rep.hint != nil {
+					t.hintObs(e.host, to, rep.hint)
+				}
+				return rep.value, rep.err
+			}
+			if !errors.Is(rerr, sim.ErrTimeout) {
+				return nil, rerr
+			}
+		} else if err := env.Sleep(t.callTimeout()); err != nil {
+			// The request (or its wire image) was lost before arriving;
+			// the client still waits the full timeout.
+			return nil, err
+		}
+		if err := e.retryBookkeeping(env, to, service, attempt); err != nil {
+			t.record(env, to, service, argSize, true)
+			return nil, err
+		}
+	}
+}
+
+// execRemote is the bulk-transfer execution hop: a reliable mailbox round
+// trip (no injection — faults were already applied to the handshake and the
+// fragment stream) that runs the handler on the server's shard. The payload
+// bytes were charged by the stream, so both legs ride bare latency.
+func (e *Endpoint) execRemote(env *sim.Env, target *Endpoint, service string, arg any) (*confReply, error) {
+	t := e.transport
+	replyBox := sim.NewMailboxOn(t.sim, env.Shard(), 0)
+	e.xidSeq++
+	target.reqBox.SendAfter(env, &confReq{
+		from: e.host, xid: e.xidSeq, service: service, arg: arg,
+		reply: replyBox, internal: true,
+	}, t.net.Latency())
+	rv, err := replyBox.Recv(env)
+	if err != nil {
+		return nil, err
+	}
+	return rv.(*confReply), nil
+}
+
+// callBulkConfined is CallBulk's remote path under confinement. The
+// handshake, the windowed fragment stream, and the trailing control trip are
+// pure wire timing plus counters, all shard-local, so they run client-side
+// exactly as in the inline path; only the handler execution hops to the
+// server's shard.
+func (e *Endpoint) callBulkConfined(env *sim.Env, target *Endpoint, service string, arg any, argSize, payloadBytes int, dir BulkDir) (any, BulkStats, error) {
+	t := e.transport
+	to := target.host
+	var bs BulkStats
+	bs.Calls = 1
+	if s := env.Shard(); s != 0 && s != e.shard {
+		panic(fmt.Sprintf("rpc: bulk call via %v's endpoint from foreign shard %d (home %d)", e.host, s, e.shard))
+	}
+	if err := env.Sleep(t.params.ClientOverhead); err != nil {
+		return nil, bs, err
+	}
+	wire := argSize + t.fragOverhead()
+	if err := e.bulkControl(env, target, service, argSize, t.fragOverhead()); err != nil {
+		t.record(env, to, service, wire, true)
+		return nil, bs, err
+	}
+	switch dir {
+	case BulkOut:
+		w, err := e.streamFragments(env, target, service, payloadBytes, &bs)
+		wire += w
+		if err != nil {
+			t.record(env, to, service, wire, true)
+			t.recordBulk(env, &bs)
+			return nil, bs, err
+		}
+		rep, err := e.execRemote(env, target, service, arg)
+		if err != nil {
+			t.record(env, to, service, wire, true)
+			t.recordBulk(env, &bs)
+			return nil, bs, err
+		}
+		if err := e.bulkControl(env, target, service, rep.size, 0); err != nil {
+			t.record(env, to, service, wire+rep.size, true)
+			t.recordBulk(env, &bs)
+			return nil, bs, err
+		}
+		wire += rep.size
+		t.record(env, to, service, wire, rep.err != nil)
+		t.recordBulk(env, &bs)
+		return rep.value, bs, rep.err
+	case BulkIn:
+		rep, err := e.execRemote(env, target, service, arg)
+		if err != nil {
+			t.record(env, to, service, wire, true)
+			t.recordBulk(env, &bs)
+			return nil, bs, err
+		}
+		if rep.err == nil {
+			w, serr := e.streamFragments(env, target, service, rep.size, &bs)
+			wire += w
+			if serr != nil {
+				t.record(env, to, service, wire, true)
+				t.recordBulk(env, &bs)
+				return nil, bs, serr
+			}
+		} else if cerr := e.bulkControl(env, target, service, t.fragOverhead(), 0); cerr != nil {
+			// The error reply is a plain small message.
+			t.record(env, to, service, wire, true)
+			return nil, bs, cerr
+		}
+		t.record(env, to, service, wire, rep.err != nil)
+		t.recordBulk(env, &bs)
+		return rep.value, bs, rep.err
+	default:
+		return nil, bs, fmt.Errorf("rpc: unknown bulk direction %d", dir)
+	}
+}

@@ -52,11 +52,13 @@ type dispatchRec struct {
 }
 
 // childEntry is one buffered schedule effect: a locally created event
-// (timer, wake, or a spawn's first resume) or a mailbox post.
+// (timer, wake, or a spawn's first resume), a mailbox post, or a remote
+// event targeting another shard (a Rehome's wake on the activity's new home).
 type childEntry struct {
-	ev    *event
-	spawn *activity // set when ev is a freshly spawned activity's first resume
-	mail  *mailEntry
+	ev     *event
+	spawn  *activity // set when ev is a freshly spawned activity's first resume
+	mail   *mailEntry
+	remote bool // ev targets a foreign shard: global queue only, never local
 }
 
 type mailEntry struct {
@@ -171,7 +173,7 @@ func (s *Simulation) runParallel(limit time.Duration) {
 			s.now = limit
 			return
 		}
-		if head.act == nil || head.act.shard == 0 {
+		if head.homeShard() == 0 {
 			// Exclusive event: the serial kernel's dispatch, verbatim.
 			ev := heap.Pop(&s.queue).(*event)
 			at, seq, act, fn := ev.at, ev.seq, ev.act, ev.fn
@@ -211,7 +213,7 @@ func (p *parKernel) runWindow(limit time.Duration) {
 			break
 		}
 		if h.act != nil || h.fn != nil {
-			if h.act == nil || h.act.shard == 0 {
+			if h.homeShard() == 0 {
 				// Exclusive blocker: nothing committed in this window may
 				// reorder past it, so it bounds how far locally created
 				// events may run. Same-timestamp confined events already in
@@ -226,11 +228,11 @@ func (p *parKernel) runWindow(limit time.Duration) {
 	}
 
 	for _, ev := range window {
-		if ev.act != nil {
-			p.workerFor(ev.act.shard).pushInitial(ev)
-		} else {
+		if ev.act == nil && ev.fn == nil {
 			ev.consumed = true // cancelled before the window formed
+			continue
 		}
+		p.workerFor(ev.homeShard()).pushInitial(ev)
 	}
 	p.inWindow = true
 	active := 0
@@ -282,6 +284,18 @@ func (w *worker) run() {
 			}
 			ev := heap.Pop(&w.local).(*event)
 			ev.consumed = true
+			if ev.fn != nil {
+				// A shard-homed scheduler callback (mailbox delivery): it runs
+				// on this worker so its wakes land in this shard's local
+				// order, with a record of its own for the effects.
+				rec := &dispatchRec{}
+				ev.rec = rec
+				w.now = ev.at
+				w.cur = rec
+				ev.fn()
+				w.cur = nil
+				continue
+			}
 			if ev.act == nil {
 				continue // cancelled while queued
 			}
@@ -319,6 +333,18 @@ func (w *worker) scheduleLocal(at time.Duration, a *activity) *event {
 	return ev
 }
 
+// scheduleRemote buffers a wake event for an activity that now belongs to a
+// foreign shard (Env.Rehome). The event must not join this worker's local
+// order — the new shard's worker owns it — so it is only recorded; replay
+// homes it through the global queue, where the rehome delay's >= lookahead
+// contract keeps it at or beyond the window horizon.
+func (w *worker) scheduleRemote(at time.Duration, a *activity) *event {
+	w.counter++
+	ev := &event{at: at, seq: provSeqBase + w.counter, act: a}
+	w.cur.children = append(w.cur.children, childEntry{ev: ev, remote: true})
+	return ev
+}
+
 // noteSpawn marks the most recent schedule effect as a spawn, so replay
 // admits the activity (id assignment, liveness) in committed order.
 func (w *worker) noteSpawn(ev *event, a *activity) {
@@ -352,16 +378,22 @@ func (s *Simulation) replay(window []*event) {
 		s.stats.EventsDispatched++
 		s.noteCommit(ev.at, ev.seq)
 		if rec := ev.rec; rec != nil {
-			if s.Trace != nil {
-				s.Trace("t=%v run %s", ev.at, ev.act.name)
+			if ev.act != nil {
+				// fn events (mailbox deliveries) are not activity dispatches:
+				// the serial kernel neither traces nor counts a context
+				// switch for them, so replay must not either.
+				if s.Trace != nil {
+					s.Trace("t=%v run %s", ev.at, ev.act.name)
+				}
+				s.stats.ContextSwitches++
 			}
-			s.stats.ContextSwitches++
 			for i := range rec.children {
 				ch := &rec.children[i]
 				if ch.mail != nil {
 					m, v := ch.mail.m, ch.mail.v
 					s.seq++
 					mev := s.newEvent(ch.mail.at, s.seq, nil, func() { m.deliver(v) })
+					mev.shard = m.shard
 					heap.Push(&s.queue, mev)
 					pending++
 					if pending > s.stats.MaxQueueDepth {
@@ -371,6 +403,14 @@ func (s *Simulation) replay(window []*event) {
 				}
 				if ch.spawn != nil {
 					s.admit(ch.spawn)
+				}
+				if ch.remote {
+					// A rehomed activity's wake: make sure its new shard has
+					// deterministic spawn-ordinal state before anything runs
+					// there.
+					if sh := ch.ev.act; sh != nil && s.shards[sh.shard] == nil {
+						s.shards[sh.shard] = &shardMeta{}
+					}
 				}
 				s.seq++
 				ch.ev.seq = s.seq

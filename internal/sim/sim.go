@@ -51,11 +51,26 @@ type event struct {
 	act *activity // activity to resume (nil for fn-only events)
 	fn  func()    // optional callback run in scheduler context
 
+	// shard homes an fn-only event (shard-homed mailbox deliveries): the
+	// parallel kernel dispatches it on the owning shard's worker inside a
+	// window instead of treating it as an exclusive blocker. Activity events
+	// are homed by their activity's shard; the field is ignored for them.
+	shard int
+
 	// Parallel-kernel bookkeeping (unused by the serial kernel): rec is the
 	// effect log of this event's in-window dispatch, consumed marks events a
 	// worker popped (dispatched or skipped as cancelled) inside a window.
 	rec      *dispatchRec
 	consumed bool
+}
+
+// homeShard is the shard an event is ordered and dispatched on: the
+// activity's shard for activity events, the explicit homing for fn events.
+func (ev *event) homeShard() int {
+	if ev.act != nil {
+		return ev.act.shard
+	}
+	return ev.shard
 }
 
 type eventHeap []*event
@@ -104,6 +119,7 @@ type activity struct {
 	woken    bool       // a wake event is already queued for this block
 	err      error      // set if the activity's function returned an error
 	reaped   bool       // completion bookkeeping already performed
+	daemon   bool       // service loop: excluded from deadlock detection
 	ctxw     *worker    // worker dispatching this activity inside a window
 	lrand    *rand.Rand // lazily created shard-local random stream
 }
@@ -367,6 +383,15 @@ func (s *Simulation) schedule(at time.Duration, a *activity, fn func()) *event {
 	return ev
 }
 
+// scheduleOnShard schedules an fn event homed to a confined shard. Under the
+// parallel kernel the event is dispatched inside a window by the shard's
+// worker; the serial kernel runs it at its (at, seq) position like any other.
+func (s *Simulation) scheduleOnShard(at time.Duration, shard int, fn func()) *event {
+	ev := s.schedule(at, nil, fn)
+	ev.shard = shard
+	return ev
+}
+
 // newEvent allocates an event, reusing the freelist when possible.
 func (s *Simulation) newEvent(at time.Duration, seq uint64, a *activity, fn func()) *event {
 	var ev *event
@@ -409,7 +434,19 @@ func (s *Simulation) Run(limit time.Duration) error {
 	if !s.stopped && (limit <= 0 || s.now < limit) && len(s.live) > 0 {
 		names := make([]string, 0, len(s.live))
 		for _, a := range s.live {
-			names = append(names, a.name)
+			if !a.daemon {
+				names = append(names, a.name)
+			}
+		}
+		if len(names) == 0 {
+			// Only daemon service loops remain: the run has quiesced. Unwind
+			// them (they see ErrStopped) so no goroutines leak; the drain
+			// happens after the last commit, so it cannot perturb the digest.
+			s.drain()
+			if len(s.errs) > 0 {
+				return s.errs[0]
+			}
+			return nil
 		}
 		sort.Strings(names)
 		return fmt.Errorf("%w: %v", ErrDeadlock, names)
@@ -574,6 +611,49 @@ func mixSeed(seed int64, shard int, ord uint64) int64 {
 
 // Shard returns the shard this activity is confined to (0 = exclusive).
 func (e *Env) Shard() int { return e.act.shard }
+
+// MarkDaemon flags the calling activity as a daemon service loop: a run that
+// quiesces with only daemons left (blocked in Recv, say) ends cleanly instead
+// of reporting a deadlock, and the daemons are unwound with ErrStopped. The
+// confined RPC dispatchers use it so bounded simulations terminate.
+func (e *Env) MarkDaemon() { e.act.daemon = true }
+
+// Rehome moves the calling activity to another shard after delay: the
+// activity parks, and resumes on the new shard once the delay elapses. It
+// models a thread of control physically moving between hosts (process
+// migration's switch-over). The delay is a cross-shard message and must be at
+// least the declared lookahead — enforced under both kernels, so the serial
+// oracle rejects the same programs the parallel kernel would. After Rehome
+// returns, Spawn, LocalRand seeding of children, and wake routing all follow
+// the new shard. Rehoming to the current shard is just a Sleep.
+func (e *Env) Rehome(shard int, delay time.Duration) error {
+	a := e.act
+	if shard < 0 {
+		panic("sim: Rehome to negative shard")
+	}
+	if shard == a.shard {
+		return e.Sleep(delay)
+	}
+	s := e.sim
+	if delay < s.lookahead {
+		panic(fmt.Sprintf("sim: Rehome delay %v below lookahead %v; moving shards is a cross-shard message", delay, s.lookahead))
+	}
+	if w := a.ctxw; w != nil {
+		// In-window: the wake event must not enter this worker's local heap
+		// (it belongs to the new shard); replay homes it through the global
+		// queue, where the delay >= lookahead contract keeps it at or beyond
+		// the window horizon.
+		a.shard = shard
+		a.wake = w.scheduleRemote(w.now+delay, a)
+		return e.block()
+	}
+	a.shard = shard
+	if s.shards[shard] == nil {
+		s.shards[shard] = &shardMeta{}
+	}
+	a.wake = s.schedule(s.now+delay, a, nil)
+	return e.block()
+}
 
 // Name returns the activity's name (useful in logs and errors).
 func (e *Env) Name() string { return e.act.name }
