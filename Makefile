@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-confined cover bench bench-baseline bench-wallclock chaos chaos-confined shootout shootout-confined scale experiments examples clean
+.PHONY: all build vet lint test race race-confined cover bench bench-baseline bench-wallclock chaos chaos-confined shootout shootout-confined fleet scale experiments examples clean
 
 all: build vet lint test
 
@@ -121,6 +121,17 @@ shootout:
 # shard-confined.
 shootout-confined:
 	SPRITE_SIM_PARALLEL=4 $(GO) test -race -run 'TestE17MigrationDigestsAgree' -v ./internal/experiments
+
+# Fleet-management chaos suite (DESIGN.md §15): the drain state machine's
+# transition matrix, the 50-seed eviction-storm fuzz family (drain-safety
+# audit + shrinking), and the serial-vs-parallel kernel equivalence check,
+# all under the race detector with the parallel kernel enabled; then the
+# fleet economy gate against bench/BENCH_fleet.json and the full E18
+# sweep, emitting FLEET_storms.json for the CI artifact.
+fleet:
+	SPRITE_SIM_PARALLEL=4 $(GO) test -race -run 'TestDrainStateMachine|TestManagerDeterministic|TestFleetFuzz|TestFleetScenarioDeterminism|TestFleetKernelEquivalence' -v ./internal/fleet ./internal/fault
+	SPRITE_SIM_PARALLEL=4 $(GO) test -race -run 'TestFleetEconomyGate' ./internal/experiments
+	$(GO) run ./cmd/spritesim -experiment E18 -fleet-snapshot FLEET_storms.json
 
 # The 10,000-host scale tier (nightly CI), two planes:
 #   1. E16's combined-churn schedule — reboot storm, flapping hosts, two

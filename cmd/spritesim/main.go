@@ -9,6 +9,8 @@
 //	spritesim -experiment E16 [-fleet-10k] [-hostsel-snapshot HOSTSEL_shootout.json]
 //	spritesim -experiment E16 -hosts 10000
 //	spritesim -experiment E17 [-hosts 1000] [-wallclock-snapshot BENCH_wallclock.json]
+//	spritesim -experiment E18 [-quick] [-fleet-snapshot FLEET_storms.json]
+//	spritesim -fleet-storm 5007
 //	spritesim -confined-scale SCALE_confined.json [-hosts 10000]
 //	spritesim -all [-quick] [-parallel] [-workers N]
 //
@@ -39,6 +41,7 @@ import (
 	"strconv"
 
 	"sprite/internal/experiments"
+	"sprite/internal/fault"
 	"sprite/internal/recovery"
 )
 
@@ -86,7 +89,9 @@ func run(args []string) error {
 		hostSnap  = fs.String("hostsel-snapshot", "", "write the selector shoot-out's (E16) results JSON to this file")
 		hosts     = fs.Int("hosts", 0, "override the scale-aware experiments' host count (E16 fleet size, E17 load daemons)")
 		wallSnap  = fs.String("wallclock-snapshot", "", "write the wallclock experiment's (E17) rows JSON to this file")
-		confScale = fs.String("confined-scale", "", "run the confined-hosts scale tier (serial vs parallel migration plane, default 10000 hosts; -hosts overrides) and write the comparison JSON to this file")
+		confScale  = fs.String("confined-scale", "", "run the confined-hosts scale tier (serial vs parallel migration plane, default 10000 hosts; -hosts overrides) and write the comparison JSON to this file")
+		fleetSnap  = fs.String("fleet-snapshot", "", "write the fleet economy experiment's (E18) rows JSON to this file")
+		fleetStorm = fs.Int64("fleet-storm", 0, "replay one fleet eviction-storm fuzz scenario by seed and print its report")
 		parallel  = fs.Bool("parallel", false, "run every cluster on the conservative parallel kernel (identical results, less wallclock)")
 		workers   = fs.Int("workers", 0, "parallel kernel worker count (0 = GOMAXPROCS; implies -parallel)")
 	)
@@ -112,8 +117,23 @@ func run(args []string) error {
 		Fleet10k: *fleet10k, HostselSnapshot: *hostSnap,
 		Hosts: *hosts, WallclockSnapshot: *wallSnap,
 		ConfinedScaleSnapshot: *confScale,
+		FleetSnapshot:         *fleetSnap,
 	}
 	switch {
+	case *fleetStorm != 0:
+		// Replay one seed of the fleet fuzzer's eviction-storm family (the
+		// same scenarios TestFleetFuzz sweeps) and print its verdict — the
+		// debugging entry point a failure report names.
+		sc := fault.GenFleetScenario(*fleetStorm)
+		res := fault.RunFleetScenario(sc)
+		fmt.Print(sc.Report(res))
+		if res.Failed() {
+			min, minRes := fault.ShrinkFleet(sc)
+			fmt.Printf("shrunk:\n%s", min.Report(minRes))
+			return fmt.Errorf("fleet storm seed %d failed", *fleetStorm)
+		}
+		fmt.Println("ok")
+		return nil
 	case *confScale != "":
 		// The tier runs its own serial and parallel legs, so it must not be
 		// combined with -parallel (which forces every cluster parallel and

@@ -38,7 +38,7 @@ func TestFailpointreg(t *testing.T) {
 	}
 
 	dead := failpointreg.DeadEntries(refs)
-	wantDead := []string{"mig.streams", "mig.pcb", "recovery.restart"}
+	wantDead := []string{"mig.streams", "mig.pcb", "recovery.restart", "fleet.drain", "fleet.remediate", "fleet.readmit"}
 	if !reflect.DeepEqual(dead, wantDead) {
 		t.Errorf("DeadEntries = %v, want %v", dead, wantDead)
 	}

@@ -115,6 +115,13 @@ type Cluster struct {
 	// layered on the cluster (the host-selection claim ledger, for one);
 	// CheckInvariants runs them after its own checks.
 	extraChecks []func(endOfRun bool) []string
+
+	// reapHooks run at the end of ReapDeadHost, once per reaped (host,
+	// epoch): subsystems holding per-host soft state keyed by the dead
+	// incarnation (leased claims in hostsel, drain bookkeeping in fleet)
+	// scrub it here, epoch-guarded, instead of leaking it until the
+	// end-of-run audit.
+	reapHooks []func(env *sim.Env, host rpc.HostID, epoch rpc.Epoch)
 }
 
 // AddInvariantCheck registers an additional cluster-wide invariant checker
@@ -123,6 +130,14 @@ type Cluster struct {
 // fuzzer digests and test assertions.
 func (c *Cluster) AddInvariantCheck(fn func(endOfRun bool) []string) {
 	c.extraChecks = append(c.extraChecks, fn)
+}
+
+// AddReapHook registers a callback run at the end of every effective
+// ReapDeadHost (after the cluster-wide crash-recovery matrix has settled,
+// skipped for the idempotent re-reap of an already-reaped epoch). Hooks run
+// in registration order in the reaping activity's context.
+func (c *Cluster) AddReapHook(fn func(env *sim.Env, host rpc.HostID, epoch rpc.Epoch)) {
+	c.reapHooks = append(c.reapHooks, fn)
 }
 
 // TraceFunc receives cluster events (migrations, evictions, process
@@ -386,6 +401,13 @@ func (c *Cluster) MigrationRecords() []MigrationRecord {
 		out = append(out, k.MigrationRecords()...)
 	}
 	return out
+}
+
+// Kill routes a kill of target through its home machine, issued from via's
+// endpoint — the daemon-context counterpart of Ctx.Kill. The fleet drain
+// path uses it to evacuate a resident no host will accept alive.
+func (c *Cluster) Kill(env *sim.Env, via *Kernel, target PID) error {
+	return c.killPID(env, via, target)
 }
 
 // killPID routes a kill through the target's home machine.

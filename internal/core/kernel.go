@@ -14,14 +14,18 @@ import (
 
 // KernelStats counts migration-related kernel events.
 type KernelStats struct {
-	MigrationsOut  uint64
-	MigrationsIn   uint64
-	Evictions      uint64
-	ForwardedCalls uint64
-	RemoteExecs    uint64
-	ProcsStarted   uint64
-	ProcsExited    uint64
-	ProcsCrashed   uint64
+	MigrationsOut uint64
+	MigrationsIn  uint64
+	// MigrationsAborted counts outbound migrations from this host that hit
+	// the abort-recovery path (target crash, failpoint, version skew). The
+	// fleet health plane reads it as a per-host sickness signal.
+	MigrationsAborted uint64
+	Evictions         uint64
+	ForwardedCalls    uint64
+	RemoteExecs       uint64
+	ProcsStarted      uint64
+	ProcsExited       uint64
+	ProcsCrashed      uint64
 }
 
 // homeRecord is the state a home kernel keeps for every process whose home

@@ -150,9 +150,14 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 			// activity — cross-shard by nature. The confined contract
 			// excludes every abort trigger (crashes, failpoints, version
 			// skew), so reaching here is a configuration bug.
-			panic(fmt.Sprintf("core: migration abort for %v under host confinement (DESIGN.md §14): %v", p.pid, err))
+			panic(&sim.ConfinedContractError{
+				Op:     "migration abort",
+				Host:   fmt.Sprintf("%v (on %v)", p.pid, k.host),
+				Reason: err.Error(),
+			})
 		}
 		mm.abort(env)
+		k.stats.MigrationsAborted++
 		if p.crashed {
 			return err
 		}
@@ -332,9 +337,14 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 		if k.cluster.confined {
 			// Same reasoning as migrateSelf's abort: recovery is cross-shard
 			// and every abort trigger is excluded by the confined contract.
-			panic(fmt.Sprintf("core: migration abort for %v under host confinement (DESIGN.md §14): %v", p.pid, err))
+			panic(&sim.ConfinedContractError{
+				Op:     "migration abort",
+				Host:   fmt.Sprintf("%v (on %v)", p.pid, k.host),
+				Reason: err.Error(),
+			})
 		}
 		mm.abort(env)
+		k.stats.MigrationsAborted++
 		if p.crashed {
 			return err
 		}

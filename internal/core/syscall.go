@@ -6,6 +6,7 @@ import (
 
 	"sprite/internal/fs"
 	"sprite/internal/rpc"
+	"sprite/internal/sim"
 )
 
 // HandlingPolicy classifies how a kernel call behaves for a migrated
@@ -434,7 +435,11 @@ func (c *Ctx) Fork(name string, prog Program, cfg ProcConfig) (*Process, error) 
 		// Fork allocates the pid and family record in the home kernel's
 		// tables — another shard's state. The confined contract keeps
 		// process-family calls on the home host (DESIGN.md §14).
-		panic(fmt.Sprintf("core: Fork by migrated %v is not supported under host confinement (DESIGN.md §14)", p.pid))
+		panic(&sim.ConfinedContractError{
+			Op:     "Fork by migrated process",
+			Host:   fmt.Sprintf("%v (on %v)", p.pid, p.cur.host),
+			Reason: "pid allocation lives on the home shard",
+		})
 	}
 	if err := c.forwardHome("fork"); err != nil {
 		return nil, err
@@ -461,7 +466,11 @@ func (c *Ctx) Wait() (PID, int, error) {
 	if c.proc.cur.cluster.confined && c.proc.Foreign() {
 		// waitChild blocks on the home kernel's records — another shard's
 		// state and a cross-shard future wake (DESIGN.md §14).
-		panic(fmt.Sprintf("core: Wait by migrated %v is not supported under host confinement (DESIGN.md §14)", c.proc.pid))
+		panic(&sim.ConfinedContractError{
+			Op:     "Wait by migrated process",
+			Host:   fmt.Sprintf("%v (on %v)", c.proc.pid, c.proc.cur.host),
+			Reason: "child records live on the home shard",
+		})
 	}
 	if err := c.forwardHome("wait"); err != nil {
 		return NilPID, 0, err

@@ -49,6 +49,10 @@ type Config struct {
 	// (E17ConfinedScale) write its serial-vs-parallel comparison rows to
 	// this file as JSON (the SCALE_confined.json nightly CI artifact).
 	ConfinedScaleSnapshot string
+	// FleetSnapshot, when non-empty, makes the fleet economy experiment
+	// (E18) write its per-intensity rows to this file as JSON (the
+	// FLEET_storms.json CI artifact; bench/BENCH_fleet.json gates it).
+	FleetSnapshot string
 }
 
 // Table is one reproduced table or figure, as labeled rows.
@@ -178,6 +182,7 @@ func All() []Runner {
 		{ID: "E15", Name: "crash recovery and failover", Run: E15CrashRecovery},
 		{ID: "E16", Name: "selector shoot-out under churn", Run: E16SelectorShootout},
 		{ID: "E17", Name: "parallel kernel wallclock speedup", Run: E17ParallelWallclock},
+		{ID: "E18", Name: "fleet economy under eviction storms", Run: E18FleetEconomy},
 	}
 }
 

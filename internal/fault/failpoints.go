@@ -54,6 +54,21 @@ var Failpoints = []Failpoint{
 		Package: "sprite/internal/recovery",
 		Doc:     "the supervisor's checkpointed job restart; failing here exercises restart retry and job-loss accounting",
 	},
+	{
+		Name:    "fleet.drain",
+		Package: "sprite/internal/fleet",
+		Doc:     "the fleet controller's per-tick drain pass; failing here stalls a drain without losing residents",
+	},
+	{
+		Name:    "fleet.remediate",
+		Package: "sprite/internal/fleet",
+		Doc:     "the post-drain reboot of a sick host; failing here retries remediation on later ticks",
+	},
+	{
+		Name:    "fleet.readmit",
+		Package: "sprite/internal/fleet",
+		Doc:     "the readmission probation gate; failing here resets the clean-probe count and keeps the host quarantined",
+	},
 }
 
 // registered is the name index, built once at init.

@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"time"
+
+	"sprite/internal/rpc"
+)
+
+// Pricer estimates each host's expected time-to-eviction, learned online
+// from observed eviction inter-arrivals. Hosts are grouped into classes
+// (default: one class per host) so sparse histories pool their evidence;
+// per class it keeps an EMA of the gaps between evictions. A candidate's
+// score is the class's expected gap minus the time already elapsed since
+// the host's last eviction — "how much runway is probably left" — floored
+// at a small positive value so a host is never priced as instantly doomed.
+//
+// The economics mirror the paper's observation that recently-reclaimed
+// hosts tend to be reclaimed again (owner sessions cluster): placing work
+// on a host fresh off an eviction buys the shortest expected run.
+type Pricer struct {
+	alpha   float64
+	horizon time.Duration
+
+	classOf map[rpc.HostID]string
+	// ema is the learned eviction inter-arrival per class.
+	ema map[string]time.Duration
+	// lastEvict is the most recent eviction per host (for elapsed time);
+	// lastClassEvict is per class (for inter-arrival learning).
+	lastEvict      map[rpc.HostID]time.Duration
+	lastClassEvict map[string]time.Duration
+}
+
+// NewPricer builds a pricer with EMA gain alpha and optimistic horizon
+// for classes with no observed eviction.
+func NewPricer(alpha float64, horizon time.Duration) *Pricer {
+	return &Pricer{
+		alpha:          alpha,
+		horizon:        horizon,
+		classOf:        make(map[rpc.HostID]string),
+		ema:            make(map[string]time.Duration),
+		lastEvict:      make(map[rpc.HostID]time.Duration),
+		lastClassEvict: make(map[string]time.Duration),
+	}
+}
+
+// SetClass assigns host to a named class so hosts with shared eviction
+// behaviour (same rack, same owner schedule) pool their histories.
+func (p *Pricer) SetClass(host rpc.HostID, class string) {
+	p.classOf[host] = class
+}
+
+func (p *Pricer) class(host rpc.HostID) string {
+	if c, ok := p.classOf[host]; ok {
+		return c
+	}
+	return host.String()
+}
+
+// ObserveEviction folds one eviction on host at time `at` into the model.
+func (p *Pricer) ObserveEviction(host rpc.HostID, at time.Duration) {
+	class := p.class(host)
+	if last, ok := p.lastClassEvict[class]; ok && at > last {
+		gap := at - last
+		if prev, ok := p.ema[class]; ok {
+			p.ema[class] = time.Duration(float64(prev) + p.alpha*float64(gap-prev))
+		} else {
+			p.ema[class] = gap
+		}
+	}
+	p.lastClassEvict[class] = at
+	p.lastEvict[host] = at
+}
+
+// Expected returns the learned eviction inter-arrival for host's class,
+// or the optimistic horizon if nothing has been observed yet.
+func (p *Pricer) Expected(host rpc.HostID) time.Duration {
+	if ema, ok := p.ema[p.class(host)]; ok {
+		return ema
+	}
+	return p.horizon
+}
+
+// Score returns host's expected remaining runway at time now: the class's
+// expected inter-arrival minus the time since the host's last eviction,
+// floored at 1/8 of the expectation (a host overdue for an eviction is
+// cheap, not worthless). Higher is better.
+func (p *Pricer) Score(host rpc.HostID, now time.Duration) time.Duration {
+	exp := p.Expected(host)
+	floor := exp / 8
+	last, ok := p.lastEvict[host]
+	if !ok {
+		return exp
+	}
+	left := exp - (now - last)
+	if left < floor {
+		return floor
+	}
+	return left
+}

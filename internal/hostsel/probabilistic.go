@@ -80,9 +80,10 @@ type Probabilistic struct {
 	claims map[rpc.HostID]claimRec
 	hints  map[rpc.HostID][]EvictHint
 
-	stopped bool
-	stats   Stats
-	gstats  GossipStats
+	stopped  bool
+	stats    Stats
+	gstats   GossipStats
+	hintSink func(subject rpc.HostID)
 
 	misplaceC *metrics.Counter
 	ageT      *metrics.Timing
@@ -93,11 +94,15 @@ type Probabilistic struct {
 var _ Selector = (*Probabilistic)(nil)
 
 // claimRec is one held claim, bound to the boot incarnation that granted
-// it: a claim taken under an older epoch died with the reboot.
+// it: a claim taken under an older epoch died with the reboot. The
+// claimant's own boot epoch is recorded too, so a claim whose holder dies
+// mid-claim can be scrubbed when the death is reaped (ScrubDeadClaimant)
+// without voiding a claim re-taken by the holder's next incarnation.
 type claimRec struct {
-	client rpc.HostID
-	epoch  rpc.Epoch
-	at     time.Duration
+	client      rpc.HostID
+	epoch       rpc.Epoch // owner's boot epoch when granted
+	clientEpoch rpc.Epoch // claimant's boot epoch when granted
+	at          time.Duration
 }
 
 // Wire sizes for the gossip protocol (modeled, like every argSize here).
@@ -175,6 +180,9 @@ func NewProbabilistic(cluster *core.Cluster, params ProbabilisticParams) *Probab
 		})
 	}
 	cluster.Transport().SetHintObserver(p.observeHints)
+	cluster.AddReapHook(func(env *sim.Env, host rpc.HostID, epoch rpc.Epoch) {
+		p.ScrubDeadClaimant(host, epoch)
+	})
 	return p
 }
 
@@ -256,6 +264,28 @@ func (p *Probabilistic) epochOf(host rpc.HostID) rpc.Epoch {
 		return ep.Epoch()
 	}
 	return 0
+}
+
+// SetHintSink installs a callback fired once for every eviction hint
+// queued, with the hint's subject (the host the hint retracts). The fleet
+// health plane counts per-host hint rate through it. The callback runs in
+// the queueing activity's context and must not block or add simulated
+// time; nil removes it.
+func (p *Probabilistic) SetHintSink(fn func(subject rpc.HostID)) { p.hintSink = fn }
+
+// ScrubDeadClaimant releases every claim held by a claimant whose boot
+// incarnation <= epoch has been declared dead: the holder's memory — and
+// with it the intent to release — is gone, so without the scrub the claim
+// leaks until its lease expires (or forever with no lease), surfacing only
+// in the end-of-run ledger audit. The epoch guard keeps a claim re-taken
+// by the claimant's next incarnation intact. Registered as a cluster reap
+// hook, so it runs exactly when the death becomes cluster-wide knowledge.
+func (p *Probabilistic) ScrubDeadClaimant(claimant rpc.HostID, epoch rpc.Epoch) {
+	for owner, rec := range p.claims {
+		if rec.client == claimant && rec.clientEpoch <= epoch {
+			delete(p.claims, owner)
+		}
+	}
 }
 
 // claimed reports whether host holds a live claim at now, lazily releasing
@@ -395,7 +425,10 @@ func (p *Probabilistic) makeClaimHandler(owner rpc.HostID) rpc.Handler {
 			p.pushHint(owner, EvictHint{Host: owner, Epoch: state.Epoch})
 			return claimReply{OK: false, State: state}, gossipEntryBytes + 8, nil
 		}
-		p.claims[owner] = claimRec{client: a.Client, epoch: state.Epoch, at: now}
+		p.claims[owner] = claimRec{
+			client: a.Client, epoch: state.Epoch,
+			clientEpoch: p.epochOf(a.Client), at: now,
+		}
 		state.Available = false // claimed now: not available to anyone else
 		return claimReply{OK: true, State: state}, gossipEntryBytes + 8, nil
 	}
@@ -424,6 +457,9 @@ func (p *Probabilistic) makeReleaseHandler(owner rpc.HostID) rpc.Handler {
 // pushHint queues an eviction hint on host's outgoing piggyback queue,
 // replacing any older hint about the same subject.
 func (p *Probabilistic) pushHint(host rpc.HostID, h EvictHint) {
+	if p.hintSink != nil {
+		p.hintSink(h.Host)
+	}
 	q := p.hints[host]
 	for i, old := range q {
 		if old.Host == h.Host {

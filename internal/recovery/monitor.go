@@ -99,8 +99,9 @@ type Monitor struct {
 	suspect      map[rpc.HostID]int
 	isDown       map[rpc.HostID]bool
 
-	subs    []func(Event)
-	stopped bool
+	subs     []func(Event)
+	probeObs func(host rpc.HostID, ok bool, at time.Duration)
+	stopped  bool
 
 	pings        *metrics.Counter
 	pingFailures *metrics.Counter
@@ -145,6 +146,15 @@ func (m *Monitor) SetSelector(sel hostsel.Selector) { m.sel = sel }
 // Subscribe registers a liveness event callback. Callbacks run inside the
 // declaring watcher's activity, in subscription order.
 func (m *Monitor) Subscribe(fn func(Event)) { m.subs = append(m.subs, fn) }
+
+// SetProbeObserver installs a per-probe callback: every ping the monitor
+// sends reports (host, ok, at) the instant the reply or failure lands. The
+// fleet health plane feeds its missed-probe signal from it; unlike
+// Subscribe it sees every probe, not only declaration edges. One observer;
+// nil removes it.
+func (m *Monitor) SetProbeObserver(fn func(host rpc.HostID, ok bool, at time.Duration)) {
+	m.probeObs = fn
+}
 
 // DeclaredDown returns the newest boot epoch of host the monitor has
 // declared dead (0 if none). The supervisor gates restarts on it so a
@@ -233,6 +243,9 @@ func (m *Monitor) tick(env *sim.Env, host rpc.HostID) {
 	err := m.c.FailAt(env, "recovery.ping", core.NilPID)
 	if err == nil {
 		reply, err = v.Call(env, host, "recovery.ping", nil, 16)
+	}
+	if m.probeObs != nil {
+		m.probeObs(host, err == nil, env.Now())
 	}
 	if err != nil {
 		m.pingFailures.Inc()

@@ -1,4 +1,7 @@
-package recovery
+// External test package: internal/fault imports internal/recovery (the
+// fleet fuzzer drives the monitor and supervisor), so tests that use the
+// fault plane must sit outside the package to avoid an import cycle.
+package recovery_test
 
 import (
 	"testing"
@@ -6,6 +9,7 @@ import (
 
 	"sprite/internal/core"
 	"sprite/internal/fault"
+	"sprite/internal/recovery"
 	"sprite/internal/rpc"
 	"sprite/internal/sim"
 )
@@ -21,7 +25,7 @@ func newCluster(t *testing.T, ws int) *core.Cluster {
 
 // driver boots fn and a joiner that stops the monitor once fn's future
 // resolves, then runs the cluster to completion.
-func runWithMonitor(t *testing.T, c *core.Cluster, mon *Monitor, fn func(env *sim.Env) error) {
+func runWithMonitor(t *testing.T, c *core.Cluster, mon *recovery.Monitor, fn func(env *sim.Env) error) {
 	t.Helper()
 	done := sim.NewFuture(c.Sim())
 	c.Boot("test-driver", func(env *sim.Env) error {
@@ -44,9 +48,9 @@ func runWithMonitor(t *testing.T, c *core.Cluster, mon *Monitor, fn func(env *si
 func TestMonitorDetectsCrash(t *testing.T) {
 	c := newCluster(t, 3)
 	c.SetDeferredReap(true)
-	mon := NewMonitor(c, Params{Interval: 10 * time.Millisecond, FailThreshold: 2, Reap: true})
-	var events []Event
-	mon.Subscribe(func(ev Event) { events = append(events, ev) })
+	mon := recovery.NewMonitor(c, recovery.Params{Interval: 10 * time.Millisecond, FailThreshold: 2, Reap: true})
+	var events []recovery.Event
+	mon.Subscribe(func(ev recovery.Event) { events = append(events, ev) })
 	mon.Start()
 	victim := c.Workstation(1).Host()
 
@@ -69,10 +73,10 @@ func TestMonitorDetectsCrash(t *testing.T) {
 	if len(events) != 2 {
 		t.Fatalf("events = %v, want [down, up]", events)
 	}
-	if events[0].Kind != HostDown || events[0].Host != victim || events[0].Epoch != 1 {
+	if events[0].Kind != recovery.HostDown || events[0].Host != victim || events[0].Epoch != 1 {
 		t.Errorf("first event = %+v, want HostDown %v epoch 1", events[0], victim)
 	}
-	if events[1].Kind != HostUp || events[1].Epoch != 2 {
+	if events[1].Kind != recovery.HostUp || events[1].Epoch != 2 {
 		t.Errorf("second event = %+v, want HostUp epoch 2", events[1])
 	}
 	if v := c.CheckInvariants(true); len(v) != 0 {
@@ -87,9 +91,9 @@ func TestMonitorDetectsCrash(t *testing.T) {
 func TestMonitorDetectsInstantReboot(t *testing.T) {
 	c := newCluster(t, 3)
 	c.SetDeferredReap(true)
-	mon := NewMonitor(c, Params{Interval: 10 * time.Millisecond, FailThreshold: 3, Reap: true})
-	var events []Event
-	mon.Subscribe(func(ev Event) { events = append(events, ev) })
+	mon := recovery.NewMonitor(c, recovery.Params{Interval: 10 * time.Millisecond, FailThreshold: 3, Reap: true})
+	var events []recovery.Event
+	mon.Subscribe(func(ev recovery.Event) { events = append(events, ev) })
 	mon.Start()
 	victim := c.Workstation(2).Host()
 
@@ -101,8 +105,8 @@ func TestMonitorDetectsInstantReboot(t *testing.T) {
 		return env.Sleep(100 * time.Millisecond)
 	})
 
-	if len(events) != 2 || events[0].Kind != HostDown || events[0].Epoch != 1 ||
-		events[1].Kind != HostUp || events[1].Epoch != 2 {
+	if len(events) != 2 || events[0].Kind != recovery.HostDown || events[0].Epoch != 1 ||
+		events[1].Kind != recovery.HostUp || events[1].Epoch != 2 {
 		t.Fatalf("events = %+v, want HostDown e1 then HostUp e2", events)
 	}
 	if got := c.ReapedEpoch(victim); got != 1 {
@@ -119,9 +123,9 @@ func TestMonitorIgnoresMessageLoss(t *testing.T) {
 	victim := c.Workstation(1).Host()
 	plane.DropMessages(0, 300*time.Millisecond, 1.0, victim)
 
-	mon := NewMonitor(c, Params{Interval: 10 * time.Millisecond, FailThreshold: 2, Reap: true})
-	var events []Event
-	mon.Subscribe(func(ev Event) { events = append(events, ev) })
+	mon := recovery.NewMonitor(c, recovery.Params{Interval: 10 * time.Millisecond, FailThreshold: 2, Reap: true})
+	var events []recovery.Event
+	mon.Subscribe(func(ev recovery.Event) { events = append(events, ev) })
 	mon.Start()
 
 	runWithMonitor(t, c, mon, func(env *sim.Env) error {
@@ -146,9 +150,9 @@ func TestMonitorIgnoresMessageLoss(t *testing.T) {
 func TestMonitorSurvivesVantageCrash(t *testing.T) {
 	c := newCluster(t, 3)
 	c.SetDeferredReap(true)
-	mon := NewMonitor(c, Params{Interval: 10 * time.Millisecond, FailThreshold: 2, Reap: true})
-	var events []Event
-	mon.Subscribe(func(ev Event) { events = append(events, ev) })
+	mon := recovery.NewMonitor(c, recovery.Params{Interval: 10 * time.Millisecond, FailThreshold: 2, Reap: true})
+	var events []recovery.Event
+	mon.Subscribe(func(ev recovery.Event) { events = append(events, ev) })
 	mon.Start()
 	server := rpc.HostID(1)
 
@@ -167,7 +171,7 @@ func TestMonitorSurvivesVantageCrash(t *testing.T) {
 		return env.Sleep(100 * time.Millisecond)
 	})
 
-	if len(events) != 2 || events[0].Kind != HostDown || events[1].Kind != HostUp {
+	if len(events) != 2 || events[0].Kind != recovery.HostDown || events[1].Kind != recovery.HostUp {
 		t.Fatalf("events = %+v, want fs-server down then up", events)
 	}
 }

@@ -1,4 +1,7 @@
-package recovery
+// External test package: internal/fault imports internal/recovery (the
+// fleet fuzzer drives the monitor and supervisor), so tests that use the
+// fault plane must sit outside the package to avoid an import cycle.
+package recovery_test
 
 import (
 	"encoding/json"
@@ -8,6 +11,7 @@ import (
 
 	"sprite/internal/core"
 	"sprite/internal/fault"
+	"sprite/internal/recovery"
 	"sprite/internal/sim"
 )
 
@@ -43,8 +47,8 @@ func stormRun(t *testing.T, strategy core.TransferStrategy, batched bool) stormS
 		t.Fatal(err)
 	}
 
-	mon := NewMonitor(c, Params{Interval: 10 * time.Millisecond, FailThreshold: 2, Reap: true})
-	sup := NewSupervisor(c, mon, SupervisorParams{
+	mon := recovery.NewMonitor(c, recovery.Params{Interval: 10 * time.Millisecond, FailThreshold: 2, Reap: true})
+	sup := recovery.NewSupervisor(c, mon, recovery.SupervisorParams{
 		MaxRestarts:     6,
 		CheckpointEvery: 15 * time.Millisecond,
 		Dir:             "/ckpt",
@@ -65,7 +69,7 @@ func stormRun(t *testing.T, strategy core.TransferStrategy, batched bool) stormS
 	cfg := core.ProcConfig{Binary: "/bin/job", CodePages: 16, HeapPages: 32, StackPages: 4}
 	c.Boot("storm-driver", func(env *sim.Env) error {
 		for _, name := range []string{"stormA", "stormB", "stormC"} {
-			if _, err := sup.Submit(env, name, cfg, ComputeJob(200*time.Millisecond, 20*time.Millisecond)); err != nil {
+			if _, err := sup.Submit(env, name, cfg, recovery.ComputeJob(200*time.Millisecond, 20*time.Millisecond)); err != nil {
 				return err
 			}
 		}

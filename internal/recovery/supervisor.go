@@ -73,6 +73,14 @@ type job struct {
 	proc     *core.Process
 	done     *sim.Future
 	lost     bool
+	// incarnation counts every launch (fresh, restart, or evacuation) for
+	// unique process naming and the restore-from-checkpoint decision.
+	incarnation int
+	// evacuating marks a deliberate kill issued by Evacuate: the watcher
+	// relaunches from checkpoint immediately instead of treating the death
+	// as a program failure or waiting for a down declaration.
+	evacuating bool
+	evacFrom   rpc.HostID
 }
 
 // Handle is the caller's view of a submitted job.
@@ -89,6 +97,15 @@ func (h *Handle) Done() *sim.Future { return h.j.done }
 
 // Restarts returns how many times the job has been restarted so far.
 func (h *Handle) Restarts() int { return h.j.restarts }
+
+// PID returns the current incarnation's process id (NilPID before the
+// first launch or after the job is lost).
+func (h *Handle) PID() core.PID {
+	if h.j.proc == nil || h.j.lost {
+		return core.NilPID
+	}
+	return h.j.proc.PID()
+}
 
 // Resumed returns the checkpoint header the current incarnation restored
 // from (zero if it started fresh).
@@ -154,6 +171,7 @@ type Supervisor struct {
 	ckptFailures    *metrics.Counter
 	restoreFailures *metrics.Counter
 	cpuRecovered    *metrics.Counter
+	evacuations     *metrics.Counter
 	restartLatency  *metrics.Timing
 }
 
@@ -185,6 +203,7 @@ func NewSupervisor(c *core.Cluster, mon *Monitor, p SupervisorParams) *Superviso
 		ckptFailures:    reg.Counter("recovery.checkpoint.failures"),
 		restoreFailures: reg.Counter("recovery.restore.failures"),
 		cpuRecovered:    reg.Counter("recovery.cpu_recovered_ns"),
+		evacuations:     reg.Counter("recovery.evacuations"),
 		restartLatency:  reg.Timing("recovery.restart_latency"),
 	}
 }
@@ -244,6 +263,56 @@ func (s *Supervisor) Lost() []string {
 	return out
 }
 
+// Supervised reports whether pid is the live incarnation of a supervised
+// job — i.e. killing it would trigger an evacuation relaunch rather than
+// lose work. The fleet drain path uses it to choose checkpoint/restart as
+// the fallback for residents no host accepts.
+func (s *Supervisor) Supervised(pid core.PID) bool {
+	for _, j := range s.jobs {
+		if j.proc != nil && !j.lost && j.proc.PID() == pid && j.proc.State() != core.StateExited {
+			return true
+		}
+	}
+	return false
+}
+
+// Evacuate deliberately relocates every supervised job executing on — or
+// homed on — host: each incarnation is killed and relaunched from its last
+// checkpoint elsewhere, without waiting for a down declaration — the host
+// is alive, it is being drained. Jobs merely homed on the host move too,
+// because a relaunch is a new process with a new home: live migration
+// would keep the home dependency and the coming remediation reboot would
+// orphan them (Sprite's home-dependency semantics). The fleet plane's
+// drain path calls it for residents no target will accept as a live
+// migration. Returns how many jobs were told to move.
+func (s *Supervisor) Evacuate(env *sim.Env, host rpc.HostID) (int, error) {
+	n := 0
+	for _, j := range s.jobs {
+		p := j.proc
+		if p == nil || j.lost || j.evacuating || p.State() == core.StateExited {
+			continue
+		}
+		resident := p.Current() != nil && p.Current().Host() == host
+		homed := p.Home() != nil && p.Home().Host() == host
+		if !resident && !homed {
+			continue
+		}
+		via := s.pickHome(host)
+		if via == nil {
+			return n, fmt.Errorf("recovery: evacuate %v: no live workstation", host)
+		}
+		j.evacuating = true
+		j.evacFrom = host
+		if err := s.c.Kill(env, via, p.PID()); err != nil {
+			j.evacuating = false
+			return n, fmt.Errorf("recovery: evacuate %s: %w", j.name, err)
+		}
+		s.evacuations.Inc()
+		n++
+	}
+	return n, nil
+}
+
 // pickHome chooses the kernel a (re)started job is homed on: the pinned
 // Home if it is up, else the first live workstation, skipping avoid.
 func (s *Supervisor) pickHome(avoid rpc.HostID) *core.Kernel {
@@ -282,7 +351,8 @@ func (s *Supervisor) pickTarget(env *sim.Env, home *core.Kernel, avoid rpc.HostI
 
 // launch starts one incarnation of the job and spawns its watcher.
 func (s *Supervisor) launch(env *sim.Env, j *job, home *core.Kernel, target rpc.HostID) error {
-	restarted := j.restarts > 0
+	restarted := j.incarnation > 0
+	j.incarnation++
 	j.lastCkpt = 0
 	prog := func(ctx *core.Ctx) error {
 		// Run remotely when a distinct target exists; a failed migration
@@ -306,12 +376,12 @@ func (s *Supervisor) launch(env *sim.Env, j *job, home *core.Kernel, target rpc.
 		}
 		return j.fn(ctx, &JobCtx{s: s, j: j})
 	}
-	p, err := home.StartProcess(env, fmt.Sprintf("%s#%d", j.name, j.restarts), prog, j.cfg)
+	p, err := home.StartProcess(env, fmt.Sprintf("%s#%d", j.name, j.incarnation-1), prog, j.cfg)
 	if err != nil {
 		return fmt.Errorf("recovery: launch %s: %w", j.name, err)
 	}
 	j.proc = p
-	env.Spawn(fmt.Sprintf("recovery-watch-%s#%d", j.name, j.restarts), func(wenv *sim.Env) error {
+	env.Spawn(fmt.Sprintf("recovery-watch-%s#%d", j.name, j.incarnation-1), func(wenv *sim.Env) error {
 		return s.watch(wenv, j)
 	})
 	return nil
@@ -331,6 +401,19 @@ func (s *Supervisor) watch(env *sim.Env, j *job) error {
 		s.completed.Inc()
 		j.done.Complete(0, nil)
 		return nil
+	}
+	if j.evacuating {
+		// A deliberate drain kill, not a failure: relaunch from the last
+		// checkpoint right away. The host is alive, so there is no down
+		// declaration to wait for and no restart budget to charge.
+		j.evacuating = false
+		from := j.evacFrom
+		home := s.pickHome(from)
+		if home == nil {
+			s.giveUp(j, status)
+			return nil
+		}
+		return s.launch(env, j, home, s.pickTarget(env, home, from))
 	}
 	crashHost, epoch, isCrash := s.crashSite(p, status)
 	if !isCrash {

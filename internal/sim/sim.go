@@ -355,7 +355,14 @@ func (s *Simulation) reap(a *activity) {
 func safeRun(fn func(env *Env) error, env *Env) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
+			// A panic value that is itself an error (the confined-contract
+			// violations panic with *ConfinedContractError) stays matchable
+			// through errors.Is/As after it surfaces as the activity error.
+			if perr, ok := r.(error); ok {
+				err = fmt.Errorf("panic: %w", perr)
+			} else {
+				err = fmt.Errorf("panic: %v", r)
+			}
 		}
 	}()
 	return fn(env)
