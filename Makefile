@@ -12,13 +12,24 @@ build:
 vet:
 	$(GO) vet ./...
 
-# spritelint (DESIGN.md §11): the project's own go/analysis-style suite —
-# walltime, globalrand, maporder, failpointreg, metricname — run over the
-# whole tree. Built once into bin/ so repeated runs reuse the build cache;
-# the whole-tree pattern also enables the dead-failpoint audit.
+# spritelint (DESIGN.md §11, §16): the project's own go/analysis-style
+# suite — six intraprocedural analyzers (walltime, globalrand, maporder,
+# failpointreg, metricname, shardedstate) plus the interprocedural tier
+# (simtaint, confine, sharded) built on whole-tree function summaries —
+# run over the whole tree. Built once into bin/ so repeated runs reuse
+# the build cache; the whole-tree pattern also enables the
+# dead-failpoint audit and the stale-allow audit (-deadallow).
 lint:
 	$(GO) build -o bin/spritelint ./cmd/spritelint
-	./bin/spritelint ./...
+	./bin/spritelint -deadallow ./...
+
+# Dump the SCC-condensed whole-tree call graph the interprocedural
+# analyzers run over (DESIGN.md §16) — one line per function with its
+# resolved callees — for offline inspection of why a summary converged
+# the way it did.
+lint-graph:
+	$(GO) build -o bin/spritelint ./cmd/spritelint
+	./bin/spritelint -graph ./...
 
 test:
 	$(GO) test ./...

@@ -70,6 +70,7 @@ func (c *crashFlags) Set(v string) error {
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
+		//spritelint:allow simtaint E17's error values may carry measured host wall time; operator diagnostics, not sim state
 		fmt.Fprintln(os.Stderr, "spritesim:", err)
 		os.Exit(1)
 	}
@@ -145,6 +146,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		//spritelint:allow simtaint the confined-scale table reports measured host wall time by design (serial vs parallel speedup)
 		fmt.Println(tbl)
 		return nil
 	case *list:

@@ -1,0 +1,77 @@
+// Package confine statically enforces the confined-activity contract
+// (DESIGN.md §13) that the parallel kernel's runtime guards — the
+// sim.ErrConfinedContract panics — only catch when a seed happens to
+// drive execution through the offending line.
+//
+// The call graph's spawn roots (Simulation.SpawnOn, Env.SpawnOn with a
+// non-zero shard, Env.Spawn, Cluster.Boot*/BootOn) mark which function
+// bodies run confined; dataflow's reachability closure extends that over
+// direct calls, func-value references, enclosed literals, and same-shard
+// spawns. Any reachable function that calls an exclusive-only sim API,
+// uses raw goroutine/channel concurrency, or writes package-level state
+// is reported with the full witness chain back to the spawn point, so
+// the diagnostic reads like the stack trace the runtime panic would have
+// produced — before anything runs.
+//
+// The per-function shardedstate analyzer only sees violations written
+// directly inside a spawn literal; confine follows the calls out of it.
+package confine
+
+import (
+	"sort"
+
+	"sprite/internal/analysis/callgraph"
+	"sprite/internal/analysis/dataflow"
+	"sprite/internal/analysis/lint"
+)
+
+// Analyzer is the whole-tree confined-contract checker.
+var Analyzer = &dataflow.TreeAnalyzer{
+	Name: "confine",
+	Doc:  "confined-reachable code calling exclusive-only sim APIs, raw concurrency, or writing cross-shard state",
+	Run:  run,
+}
+
+func run(t *dataflow.Tree) ([]lint.Diagnostic, error) {
+	reach := t.ConfinedReachable()
+	ids := make([]callgraph.FuncID, 0, len(reach))
+	for id := range reach {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var diags []lint.Diagnostic
+	for _, id := range ids {
+		s := t.Sums[id]
+		if s == nil {
+			continue
+		}
+		chain := reach[id].String()
+		report := func(facts []dataflow.Fact) {
+			for _, f := range facts {
+				diags = append(diags, lint.Diagnostic{
+					Pos:      f.Pos,
+					Analyzer: "confine",
+					Message:  f.What + " — reachable from confined spawn: " + chain,
+				})
+			}
+		}
+		report(s.BannedCalls)
+		report(s.Concurrency)
+		report(s.GlobalWrites)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,11 @@
+package confine
+
+import (
+	"testing"
+
+	"sprite/internal/analysis/linttest"
+)
+
+func TestConfine(t *testing.T) {
+	linttest.RunTree(t, Analyzer, "a")
+}

@@ -1,0 +1,47 @@
+// Fixture: every violation here sits one or more calls below the spawn
+// point, in plain named functions. The per-function shardedstate analyzer
+// only inspects spawn callback literals, so it reports nothing in this
+// file — confine's reachability closure is what connects the dots.
+package a
+
+import sim "sprite/internal/sim"
+
+var crossShard = map[string]int{}
+
+func Boot(s *sim.Simulation) {
+	s.SpawnOn(3, "worker", workerBody)
+	s.SpawnOn(0, "controller", exclusiveBody)
+}
+
+func workerBody(env *sim.Env) error {
+	helper(env)
+	spin(env)
+	return nil
+}
+
+func helper(env *sim.Env) {
+	_ = env.Rand()      // want `sim\.Env\.Rand is banned on confined shards \(use Env\.LocalRand\) — reachable from confined spawn: SpawnOn -> a\.workerBody -> a\.helper`
+	crossShard["x"] = 1 // want `writes package-level a\.crossShard — reachable from confined spawn: SpawnOn -> a\.workerBody -> a\.helper`
+}
+
+func spin(env *sim.Env) {
+	tick()
+}
+
+func tick() {
+	ch := make(chan int)
+	go drain(ch) // want `raw go statement \(activities must be spawned through sim\) — reachable from confined spawn: SpawnOn -> a\.workerBody -> a\.spin -> a\.tick`
+}
+
+func drain(ch chan int) {
+	<-ch // want `channel receive \(cross-shard traffic must use sim\.Mailbox\) — reachable from confined spawn: SpawnOn -> a\.workerBody -> a\.spin -> a\.tick -> a\.drain`
+}
+
+// exclusiveBody runs on shard 0: the same banned API is legal there, and
+// nothing below it is reported.
+func exclusiveBody(env *sim.Env) error {
+	exclusiveHelper(env)
+	return nil
+}
+
+func exclusiveHelper(env *sim.Env) { _ = env.Rand() }

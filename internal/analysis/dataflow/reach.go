@@ -1,0 +1,93 @@
+package dataflow
+
+import (
+	"sort"
+	"strings"
+
+	"sprite/internal/analysis/callgraph"
+)
+
+// Chain explains why a function is confined-reachable: the spawn root and
+// the call path from the root's body to the function.
+type Chain struct {
+	Root callgraph.Root
+	// Path runs from the root body to the function, inclusive.
+	Path []callgraph.FuncID
+}
+
+// String renders the chain for diagnostics, rooted at the spawn point:
+// "BootOn -> core.(Kernel).runProcess -> core.(Kernel).exitNotify".
+func (c *Chain) String() string {
+	parts := []string{c.Root.Via}
+	for _, id := range c.Path {
+		parts = append(parts, shortID(id))
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// ConfinedReachable returns every non-trusted, non-test function
+// transitively reachable from a confined spawn root, with a shortest
+// witness chain. Traversal follows direct calls, value references
+// (conservative: a func value handed around confined code is assumed to
+// run there), enclosed literals, and same-shard spawns; explicit-shard
+// spawns (Spawn edges) start their own roots and are not traversed.
+func (t *Tree) ConfinedReachable() map[callgraph.FuncID]*Chain {
+	reach := make(map[callgraph.FuncID]*Chain)
+	var queue []callgraph.FuncID
+
+	visitable := func(id callgraph.FuncID) bool {
+		n := t.Graph.Nodes[id]
+		if n == nil {
+			return false // external or trusted-pkg body: not analyzed
+		}
+		if Trusted(n.Pkg.ImportPath) || t.testFns[id] {
+			return false
+		}
+		return true
+	}
+
+	for _, r := range t.Graph.Roots {
+		if r.Kind != callgraph.ConfinedRoot {
+			continue
+		}
+		// Spawns made from test code exercise the runtime contract
+		// deliberately; the static contract covers production spawns.
+		if strings.HasSuffix(t.Graph.Fset.Position(r.Site).Filename, "_test.go") {
+			continue
+		}
+		if !visitable(r.Body) {
+			continue
+		}
+		if reach[r.Body] == nil {
+			root := r
+			reach[r.Body] = &Chain{Root: root, Path: []callgraph.FuncID{r.Body}}
+			queue = append(queue, r.Body)
+		}
+	}
+
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		cur := reach[id]
+		n := t.Graph.Nodes[id]
+		// Deterministic expansion order.
+		edges := append([]callgraph.Edge(nil), n.Out...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i].Callee < edges[j].Callee })
+		for _, e := range edges {
+			switch e.Kind {
+			case callgraph.Call, callgraph.Ref, callgraph.Encloses, callgraph.SpawnSame:
+			default:
+				continue
+			}
+			if !visitable(e.Callee) || reach[e.Callee] != nil {
+				continue
+			}
+			path := make([]callgraph.FuncID, len(cur.Path)+1)
+			copy(path, cur.Path)
+			path[len(cur.Path)] = e.Callee
+			reach[e.Callee] = &Chain{Root: cur.Root, Path: path}
+			queue = append(queue, e.Callee)
+		}
+	}
+	return reach
+}

@@ -107,23 +107,56 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 //
 //	//spritelint:allow walltime[,maporder] [rationale...]
 //
-// suppresses the named analyzers' diagnostics on the comment's own line and
-// on the line immediately below it (so both end-of-line and
-// standalone-line-above placement work). Suppressions are deliberate,
-// visible, and greppable — the policy in DESIGN.md §11 requires a rationale
-// after the analyzer list.
+// suppresses the named analyzers' diagnostics on the statement it is
+// attached to: the statement (or declaration) starting on the comment's
+// own line for end-of-line placement, or on the line immediately below it
+// for standalone placement — covering every line of that statement, so a
+// call wrapped across lines stays suppressed. Compound statements
+// (if/for/switch/select) and function declarations are covered only
+// through their headers; an allow above an `if` does not silence its
+// whole body. Suppressions are deliberate, visible, and greppable — the
+// policy in DESIGN.md §11 requires a rationale after the analyzer list.
 const AllowPrefix = "//spritelint:allow"
+
+// allowEntry is one (comment, analyzer-name) suppression, tracked for the
+// -deadallow audit: an entry that never suppresses anything is stale.
+type allowEntry struct {
+	Pos  token.Position // the allow comment itself
+	Name string
+	used bool
+}
+
+// StaleAllow identifies an allow comment entry that suppressed nothing.
+type StaleAllow struct {
+	Pos  token.Position
+	Name string
+}
 
 // Suppressor decides whether a diagnostic is silenced by an allow comment.
 type Suppressor struct {
-	// file -> line -> analyzer names allowed on that line.
-	allowed map[string]map[int]map[string]bool
+	// file -> line -> analyzer name -> entry covering that line.
+	allowed map[string]map[int]map[string]*allowEntry
+	entries []*allowEntry
+	byKey   map[string]*allowEntry // "file:commentLine:name", dedupes re-added files
 }
 
 // NewSuppressor scans the files' comments for allow directives.
 func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
-	s := &Suppressor{allowed: make(map[string]map[int]map[string]bool)}
+	s := &Suppressor{
+		allowed: make(map[string]map[int]map[string]*allowEntry),
+		byKey:   make(map[string]*allowEntry),
+	}
+	s.Add(fset, files)
+	return s
+}
+
+// Add scans more files into the suppressor. The driver aggregates every
+// loaded package into one suppressor so tree-analyzer diagnostics and the
+// -deadallow audit see all files; re-adding a file (test variants share
+// sources) is idempotent.
+func (s *Suppressor) Add(fset *token.FileSet, files []*ast.File) {
 	for _, f := range files {
+		ext := stmtExtents(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				rest, ok := strings.CutPrefix(c.Text, AllowPrefix)
@@ -132,37 +165,140 @@ func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
 				}
 				names, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
 				pos := fset.Position(c.Pos())
-				byLine := s.allowed[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					s.allowed[pos.Filename] = byLine
-				}
 				for _, name := range strings.Split(names, ",") {
 					name = strings.TrimSpace(name)
 					if name == "" {
 						continue
 					}
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						if byLine[line] == nil {
-							byLine[line] = make(map[string]bool)
-						}
-						byLine[line][name] = true
-					}
+					entry := s.entry(pos, name)
+					// The comment's own line (end-of-line placement) and
+					// the next line (standalone placement), each extended
+					// to the end of the statement starting there.
+					s.cover(pos.Filename, pos.Line, max(pos.Line, ext[pos.Line]), entry)
+					s.cover(pos.Filename, pos.Line+1, max(pos.Line+1, ext[pos.Line+1]), entry)
 				}
 			}
 		}
 	}
-	return s
 }
 
-// Suppressed reports whether d is silenced by an allow comment.
+func (s *Suppressor) entry(pos token.Position, name string) *allowEntry {
+	key := fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line, name)
+	if e, ok := s.byKey[key]; ok {
+		return e
+	}
+	e := &allowEntry{Pos: pos, Name: name}
+	s.byKey[key] = e
+	s.entries = append(s.entries, e)
+	return e
+}
+
+func (s *Suppressor) cover(file string, from, to int, e *allowEntry) {
+	byLine := s.allowed[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]*allowEntry)
+		s.allowed[file] = byLine
+	}
+	for line := from; line <= to; line++ {
+		if byLine[line] == nil {
+			byLine[line] = make(map[string]*allowEntry)
+		}
+		if byLine[line][e.Name] == nil {
+			byLine[line][e.Name] = e
+		}
+	}
+}
+
+// stmtExtents maps each line on which a statement or declaration starts
+// to the last line it spans, so an allow above a wrapped statement covers
+// all of it. Compound statements and function declarations stop at their
+// body's opening brace: their nested statements get their own extents.
+func stmtExtents(fset *token.FileSet, f *ast.File) map[int]int {
+	ext := make(map[int]int)
+	record := func(n ast.Node, end token.Pos) {
+		start := fset.Position(n.Pos()).Line
+		stop := fset.Position(end).Line
+		if stop > ext[start] {
+			ext[start] = stop
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			record(n, n.Body.Lbrace)
+		case *ast.ForStmt:
+			record(n, n.Body.Lbrace)
+		case *ast.RangeStmt:
+			record(n, n.Body.Lbrace)
+		case *ast.SwitchStmt:
+			record(n, n.Body.Lbrace)
+		case *ast.TypeSwitchStmt:
+			record(n, n.Body.Lbrace)
+		case *ast.SelectStmt:
+			record(n, n.Body.Lbrace)
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				record(n, n.Body.Lbrace)
+			} else {
+				record(n, n.End())
+			}
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause, *ast.LabeledStmt:
+			// Containers: their children record themselves.
+		case ast.Stmt:
+			record(n, n.End())
+		case *ast.GenDecl:
+			record(n, n.End())
+		case *ast.ValueSpec, *ast.TypeSpec, *ast.ImportSpec:
+			record(n, n.End())
+		}
+		return true
+	})
+	return ext
+}
+
+// Suppressed reports whether d is silenced by an allow comment, marking
+// the matching entry as used for the -deadallow audit.
 func (s *Suppressor) Suppressed(d Diagnostic) bool {
 	byLine := s.allowed[d.Pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	names := byLine[d.Pos.Line]
-	return names != nil && (names[d.Analyzer] || names["all"])
+	if names == nil {
+		return false
+	}
+	hit := false
+	if e := names[d.Analyzer]; e != nil {
+		e.used = true
+		hit = true
+	}
+	if e := names["all"]; e != nil {
+		e.used = true
+		hit = true
+	}
+	return hit
+}
+
+// Stale returns the allow entries that suppressed nothing across every
+// Suppressed/Filter call so far, in position order. Meaningful only after
+// all analyzers have been filtered through this suppressor.
+func (s *Suppressor) Stale() []StaleAllow {
+	var out []StaleAllow
+	for _, e := range s.entries {
+		if !e.used {
+			out = append(out, StaleAllow{Pos: e.Pos, Name: e.Name})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 // Filter drops suppressed diagnostics and sorts the rest by position.

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func suppressorFor(t *testing.T, src string) (*Suppressor, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return NewSuppressor(fset, []*ast.File{f}), fset
+}
+
+func diag(file string, line int, analyzer string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line},
+		Analyzer: analyzer,
+		Message:  "m",
+	}
+}
+
+// TestSuppressorWrappedStatement is the regression test for allow
+// comments above statements that wrap across lines: the allow must cover
+// every line of the statement, not just the comment line + 1.
+func TestSuppressorWrappedStatement(t *testing.T) {
+	s, _ := suppressorFor(t, `package p
+
+import "time"
+
+func f() time.Time {
+	//spritelint:allow walltime fixture: wrapped call, fully covered
+	x := time.Now().
+		Add(
+			3,
+		)
+	y := time.Now()
+	_ = y
+	return x
+}
+`)
+	// The wrapped assignment spans lines 7-10; the old suppressor only
+	// covered 6 and 7.
+	for line := 6; line <= 10; line++ {
+		if !s.Suppressed(diag("x.go", line, "walltime")) {
+			t.Errorf("line %d of the wrapped statement should be suppressed", line)
+		}
+	}
+	// The next statement (line 11) is not covered.
+	if s.Suppressed(diag("x.go", 11, "walltime")) {
+		t.Errorf("the statement after the wrapped one must not be suppressed")
+	}
+	// Other analyzers are not covered either.
+	if s.Suppressed(diag("x.go", 8, "maporder")) {
+		t.Errorf("an unrelated analyzer must not be suppressed")
+	}
+}
+
+// TestSuppressorCompoundHeaderOnly: an allow above an if-statement covers
+// its header, not its whole body.
+func TestSuppressorCompoundHeaderOnly(t *testing.T) {
+	s, _ := suppressorFor(t, `package p
+
+func f(cond func() bool) int {
+	//spritelint:allow maporder fixture: header only
+	if cond() &&
+		cond() {
+		return 1
+	}
+	return 0
+}
+`)
+	for _, line := range []int{5, 6} {
+		if !s.Suppressed(diag("x.go", line, "maporder")) {
+			t.Errorf("if header line %d should be suppressed", line)
+		}
+	}
+	if s.Suppressed(diag("x.go", 7, "maporder")) {
+		t.Errorf("the if body must not be suppressed by a header allow")
+	}
+}
+
+// TestSuppressorStale: entries that never fire are reported by Stale, in
+// position order; used entries are not.
+func TestSuppressorStale(t *testing.T) {
+	s, _ := suppressorFor(t, `package p
+
+import "time"
+
+func f() time.Time {
+	//spritelint:allow walltime used below
+	t0 := time.Now()
+	//spritelint:allow maporder,walltime never fires
+	_ = t0
+	return t0
+}
+`)
+	if !s.Suppressed(diag("x.go", 7, "walltime")) {
+		t.Fatalf("first allow should suppress")
+	}
+	stale := s.Stale()
+	if len(stale) != 2 {
+		t.Fatalf("want 2 stale entries (maporder+walltime on line 8), got %+v", stale)
+	}
+	if stale[0].Name != "maporder" || stale[0].Pos.Line != 8 {
+		t.Errorf("stale[0] = %+v, want maporder at line 8", stale[0])
+	}
+	if stale[1].Name != "walltime" || stale[1].Pos.Line != 8 {
+		t.Errorf("stale[1] = %+v, want walltime at line 8", stale[1])
+	}
+}

@@ -1,0 +1,179 @@
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+
+	"sprite/internal/analysis/dataflow"
+	"sprite/internal/analysis/lint"
+	"sprite/internal/analysis/load"
+)
+
+// RunTree is the tree-analyzer counterpart of Run: it loads
+// testdata/src/<pkgname> plus every stub package it imports (transitively)
+// as a small whole program, runs the interprocedural engine over it, and
+// compares the analyzer's diagnostics — restricted to the fixture
+// package's own files — against the fixture's want annotations.
+//
+// Stub packages under testdata/src take part in the analysis as real
+// packages: a stub at sprite/internal/sim is recognized as trusted and
+// modeled, while a non-trusted stub (a fake helper package) gets its own
+// computed summaries, so fixtures can stage cross-package violations.
+func RunTree(t *testing.T, a *dataflow.TreeAnalyzer, pkgname string) *dataflow.Tree {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(srcRoot, pkgname)
+
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", dir, err)
+	}
+
+	stubFiles, external, err := resolveStubTree(fset, srcRoot, files)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	exports, err := load.ExportData(moduleRoot(t), external)
+	if err != nil {
+		t.Fatalf("export data for fixture imports: %v", err)
+	}
+	base := load.NewImporter(fset, exports, nil)
+	imp := &layeredImporter{checked: make(map[string]*types.Package), base: base}
+
+	// Type-check stubs callees-first: a stub is ready once every stub it
+	// imports is already checked.
+	var pkgs []*load.Package
+	pending := make(map[string][]*ast.File, len(stubFiles))
+	for path, fs := range stubFiles {
+		pending[path] = fs
+	}
+	for len(pending) > 0 {
+		progressed := false
+		var ready []string
+		for path, fs := range pending {
+			ok := true
+			for _, ip := range importPaths(fs) {
+				if _, isStub := stubFiles[ip]; isStub && imp.checked[ip] == nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, path)
+			}
+		}
+		sort.Strings(ready)
+		for _, path := range ready {
+			pkgs = append(pkgs, checkOne(t, fset, imp, path, pending[path]))
+			delete(pending, path)
+			progressed = true
+		}
+		if !progressed {
+			t.Fatalf("import cycle among fixture stubs: %v", keys(pending))
+		}
+	}
+	pkgs = append(pkgs, checkOne(t, fset, imp, pkgname, files))
+
+	tree := dataflow.Analyze(pkgs, dataflow.Options{})
+	diags, err := a.Run(tree)
+	if err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	// Only the fixture package's own diagnostics are compared; stub
+	// packages exist to be called into, not asserted on.
+	var own []lint.Diagnostic
+	for _, d := range diags {
+		if filepath.Dir(d.Pos.Filename) == dir {
+			own = append(own, d)
+		}
+	}
+	own = lint.NewSuppressor(fset, files).Filter(own)
+	compare(t, fset, files, own)
+	return tree
+}
+
+// resolveStubTree collects the transitive stub packages under srcRoot and
+// the external import paths needing export data, keeping the parsed stub
+// files (unlike resolveImports, whose callers only need directories).
+func resolveStubTree(fset *token.FileSet, srcRoot string, files []*ast.File) (map[string][]*ast.File, []string, error) {
+	stubs := make(map[string][]*ast.File)
+	seen := make(map[string]bool)
+	var external []string
+	queue := files
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			stubDir := filepath.Join(srcRoot, filepath.FromSlash(path))
+			if fs, err := parseDir(fset, stubDir); err == nil {
+				stubs[path] = fs
+				queue = append(queue, fs...)
+			} else {
+				external = append(external, path)
+			}
+		}
+	}
+	sort.Strings(external)
+	return stubs, external, nil
+}
+
+func importPaths(files []*ast.File) []string {
+	var out []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			if p, err := strconv.Unquote(spec.Path.Value); err == nil {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func checkOne(t *testing.T, fset *token.FileSet, imp *layeredImporter, path string, files []*ast.File) *load.Package {
+	t.Helper()
+	pkg := &load.Package{ImportPath: path, Fset: fset, Files: files}
+	pkg.Types, pkg.Info = load.Check(fset, path, files, imp, &pkg.TypeErrors)
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("fixture type error in %s: %v", path, e)
+	}
+	imp.checked[path] = pkg.Types
+	return pkg
+}
+
+// layeredImporter serves already-checked fixture packages first and falls
+// back to export data for real dependencies.
+type layeredImporter struct {
+	checked map[string]*types.Package
+	base    types.Importer
+}
+
+func (l *layeredImporter) Import(path string) (*types.Package, error) {
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	return l.base.Import(path)
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,65 @@
+// Package sharded enforces the slot-sharded metrics discipline across
+// call chains: code that runs on confined shards must mutate counters
+// and timings through the per-worker-slot variants (Counter.IncSlot,
+// Counter.AddSlot, Timing.ObserveSlot) and must not drive gauges at all
+// — the unsharded mutators serialize on one cache line and, worse, make
+// the metric's final value depend on cross-shard interleaving.
+//
+// The per-function shardedstate analyzer flags unsharded mutators
+// written directly inside a confined spawn literal. sharded joins the
+// same facts (collected per function by internal/analysis/dataflow)
+// against the confined reachability closure, so a metrics helper called
+// three frames below the spawn point is caught too, with the witness
+// chain in the message.
+package sharded
+
+import (
+	"sort"
+
+	"sprite/internal/analysis/callgraph"
+	"sprite/internal/analysis/dataflow"
+	"sprite/internal/analysis/lint"
+)
+
+// Analyzer is the whole-tree sharded-metrics checker.
+var Analyzer = &dataflow.TreeAnalyzer{
+	Name: "sharded",
+	Doc:  "unsharded metrics mutators (Inc/Add/Observe, gauges) reachable from confined spawns",
+	Run:  run,
+}
+
+func run(t *dataflow.Tree) ([]lint.Diagnostic, error) {
+	reach := t.ConfinedReachable()
+	ids := make([]callgraph.FuncID, 0, len(reach))
+	for id := range reach {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var diags []lint.Diagnostic
+	for _, id := range ids {
+		s := t.Sums[id]
+		if s == nil {
+			continue
+		}
+		chain := reach[id].String()
+		for _, f := range s.UnshardedMetrics {
+			diags = append(diags, lint.Diagnostic{
+				Pos:      f.Pos,
+				Analyzer: "sharded",
+				Message:  f.What + " — reachable from confined spawn: " + chain,
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,11 @@
+package sharded
+
+import (
+	"testing"
+
+	"sprite/internal/analysis/linttest"
+)
+
+func TestSharded(t *testing.T) {
+	linttest.RunTree(t, Analyzer, "a")
+}

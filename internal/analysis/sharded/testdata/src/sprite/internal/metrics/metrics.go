@@ -1,0 +1,23 @@
+// Stub of sprite/internal/metrics for the sharded fixture: the
+// instrument types and the sharded/unsharded mutator pairs must match the
+// real package.
+package metrics
+
+import "time"
+
+type Counter struct{}
+
+func (c *Counter) Inc()                      {}
+func (c *Counter) Add(n int64)               {}
+func (c *Counter) IncSlot(slot int)          {}
+func (c *Counter) AddSlot(slot int, n int64) {}
+
+type Timing struct{}
+
+func (t *Timing) Observe(d time.Duration)               {}
+func (t *Timing) ObserveSlot(slot int, d time.Duration) {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v int64)  {}
+func (g *Gauge) Add(n int64)  {}

@@ -1,0 +1,18 @@
+package simtaint
+
+import (
+	"testing"
+
+	"sprite/internal/analysis/dataflow"
+	"sprite/internal/analysis/linttest"
+)
+
+func TestSimtaint(t *testing.T) {
+	tree := linttest.RunTree(t, Analyzer, "a")
+	// The allow-listed file suppresses the diagnostic, not the taint:
+	// wallReport's summary still records the wall-clock hit.
+	s := tree.Sums["a.wallReport"]
+	if s == nil || len(s.SinkHits) != 1 || s.SinkHits[0].Kinds&dataflow.KWalltime == 0 {
+		t.Errorf("wallReport should still carry the suppressed wall-clock sink hit: %+v", s)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -290,9 +291,19 @@ func (c *Cluster) MetricsSnapshot() metrics.Snapshot {
 	r.Gauge("sim.context_switches").Set(int64(ss.ContextSwitches))
 	r.Gauge("sim.max_queue_depth").Set(int64(ss.MaxQueueDepth))
 	r.Gauge("sim.activities_spawned").Set(int64(ss.Spawned))
-	for host, k := range c.kernels {
+	// mig.inflight is derived, not tracked live: the migration hot path runs
+	// confined, where a shared gauge's high-water mark would depend on the
+	// cross-shard interleaving. The identity started == completed + aborted
+	// + inflight (migmeter.go) makes the level recoverable from the sharded
+	// counters at any exclusive point.
+	r.Gauge("mig.inflight").Set(r.Counter("mig.started").Value() -
+		r.Counter("mig.completed").Value() - r.Counter("mig.aborted").Value())
+	// Every fold below iterates its source map in sorted key order: gauge
+	// registration order feeds the snapshot's rendering contract, so the
+	// first snapshot of a run must see identical key sequences run to run.
+	for _, host := range sortedHosts(c.kernels) {
 		pre := fmt.Sprintf("kernel.%v.", host)
-		st := k.Stats()
+		st := c.kernels[host].Stats()
 		r.Gauge(pre + "migrations_out").Set(int64(st.MigrationsOut))
 		r.Gauge(pre + "migrations_in").Set(int64(st.MigrationsIn))
 		r.Gauge(pre + "evictions").Set(int64(st.Evictions))
@@ -302,9 +313,10 @@ func (c *Cluster) MetricsSnapshot() metrics.Snapshot {
 		r.Gauge(pre + "procs_exited").Set(int64(st.ProcsExited))
 		r.Gauge(pre + "procs_crashed").Set(int64(st.ProcsCrashed))
 	}
-	for host, srv := range c.fs.Servers() {
+	servers := c.fs.Servers()
+	for _, host := range sortedHosts(servers) {
 		pre := fmt.Sprintf("fsserver.%v.", host)
-		st := srv.Stats()
+		st := servers[host].Stats()
 		r.Gauge(pre + "lookups").Set(int64(st.Lookups))
 		r.Gauge(pre + "blocks_read").Set(int64(st.BlocksRead))
 		r.Gauge(pre + "blocks_written").Set(int64(st.BlocksWrite))
@@ -312,13 +324,30 @@ func (c *Cluster) MetricsSnapshot() metrics.Snapshot {
 		r.Gauge(pre + "flush_recalls").Set(int64(st.FlushRecall))
 		r.Gauge(pre + "cache_disables").Set(int64(st.Disables))
 	}
-	for svc, st := range c.transport.Stats() {
+	svcStats := c.transport.Stats()
+	svcs := make([]string, 0, len(svcStats))
+	for svc := range svcStats {
+		svcs = append(svcs, svc)
+	}
+	sort.Strings(svcs)
+	for _, svc := range svcs {
+		st := svcStats[svc]
 		pre := "rpc.service." + svc + "."
 		r.Gauge(pre + "calls").Set(int64(st.Calls))
 		r.Gauge(pre + "bytes").Set(int64(st.Bytes))
 		r.Gauge(pre + "errs").Set(int64(st.Errs))
 	}
 	return r.Snapshot()
+}
+
+// sortedHosts returns m's keys in ascending host order.
+func sortedHosts[V any](m map[rpc.HostID]V) []rpc.HostID {
+	hosts := make([]rpc.HostID, 0, len(m))
+	for h := range m {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	return hosts
 }
 
 // Workstations returns the workstation kernels in host order.

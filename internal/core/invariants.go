@@ -87,27 +87,20 @@ func (c *Cluster) checkRecovery() []string {
 	return out
 }
 
-// checkMigrationMetrics cross-checks the metrics plane against itself: the
-// started counter must equal completed + aborted + the in-flight gauge, the
-// per-phase abort counters must sum to the total abort counter, and at a
-// quiesce point (where this checker is defined to run) the in-flight gauge
-// must be zero.
+// checkMigrationMetrics cross-checks the metrics plane against itself: at
+// a quiesce point (where this checker is defined to run) no migration is
+// in flight, so the started counter must equal completed + aborted — the
+// derived mig.inflight level (see migmeter.go) must be zero — and the
+// per-phase abort counters must sum to the total abort counter.
 func (c *Cluster) checkMigrationMetrics() []string {
 	var out []string
 	snap := c.metrics.Snapshot()
 	started := snap.Counters["mig.started"]
 	completed := snap.Counters["mig.completed"]
 	aborted := snap.Counters["mig.aborted"]
-	inflight := int64(0)
-	if g, ok := snap.Gauges["mig.inflight"]; ok {
-		inflight = g.Value
-	}
-	if inflight != 0 {
-		out = append(out, fmt.Sprintf("metrics: mig.inflight = %d at a quiesce point", inflight))
-	}
-	if started != completed+aborted+inflight {
-		out = append(out, fmt.Sprintf("metrics: mig.started %d != completed %d + aborted %d + inflight %d",
-			started, completed, aborted, inflight))
+	if inflight := started - completed - aborted; inflight != 0 {
+		out = append(out, fmt.Sprintf("metrics: mig.inflight = %d at a quiesce point (started %d, completed %d, aborted %d)",
+			inflight, started, completed, aborted))
 	}
 	var byPhase int64
 	for name, v := range snap.Counters {

@@ -57,9 +57,12 @@ func TestMigrationPhaseMetrics(t *testing.T) {
 	if got := snap.Counters["mig.aborted"]; got != 0 {
 		t.Fatalf("mig.aborted = %d", got)
 	}
+	// mig.inflight is derived from the counters at snapshot time (the hot
+	// path runs confined and cannot drive a shared gauge); after the
+	// migration completed the level is back to zero.
 	g := snap.Gauges["mig.inflight"]
-	if g.Value != 0 || g.Max != 1 {
-		t.Fatalf("mig.inflight = %+v, want value 0 max 1", g)
+	if g.Value != 0 {
+		t.Fatalf("mig.inflight = %+v, want value 0", g)
 	}
 	for _, name := range []string{
 		"mig.phase.negotiate", "mig.phase.vm.sprite-flush",

@@ -135,7 +135,7 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 	p.migTarget = target
 	defer func() { p.migTarget, p.migMoved = nil, nil }()
 
-	mm := newMigMeter(k.cluster.metrics)
+	mm := newMigMeter(env, k.cluster.metrics)
 
 	// abort undoes a partial migration so the process resumes on the
 	// source: streams already moved come back, a PCB already installed at
@@ -217,7 +217,7 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 		if vmErr != nil {
 			return abort(vmErr)
 		}
-		rec.VMTime = mm.nextAt("streams", tVMEnd)
+		rec.VMTime = mm.nextAt(env, "streams", tVMEnd)
 		if serr != nil {
 			return abort(fmt.Errorf("stream transfer: %w", serr))
 		}
@@ -296,7 +296,7 @@ func (k *Kernel) migrateSelf(env *sim.Env, p *Process, req *migrationRequest) er
 		// only for its final pass; stream and PCB transfer freeze it too.
 		rec.Freeze += rec.FileTime + rec.PCBTime
 	}
-	mm.observeTotals(&rec)
+	mm.observeTotals(env, &rec)
 	k.records = append(k.records, rec)
 	k.cluster.emitEnv(env, "migration",
 		fmt.Sprintf("%v %v->%v (%s, %s) total=%v vm=%dB files=%d",
@@ -326,7 +326,7 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 	p.migTarget = target
 	defer func() { p.migTarget, p.migMoved = nil, nil }()
 
-	mm := newMigMeter(k.cluster.metrics)
+	mm := newMigMeter(env, k.cluster.metrics)
 
 	// Same recovery contract as migrateSelf: an aborted exec-time migration
 	// resumes the process on the source (where exec rebuilds the image
@@ -426,7 +426,7 @@ func (k *Kernel) migrateForExec(env *sim.Env, p *Process, req *migrationRequest)
 	rec.ResumeTime = mm.complete(env)
 	rec.Total = env.Now() - t0
 	rec.Freeze = rec.Total
-	mm.observeTotals(&rec)
+	mm.observeTotals(env, &rec)
 	k.records = append(k.records, rec)
 	k.cluster.emitEnv(env, "exec-migration",
 		fmt.Sprintf("%v %v->%v (%s) total=%v", p.pid, rec.From, rec.To, rec.Reason, rec.Total))

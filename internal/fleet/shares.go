@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"sort"
 	"time"
 
 	"sprite/internal/rpc"
@@ -72,9 +73,10 @@ func (l *ShareLedger) Usage(user string, now time.Duration) time.Duration {
 }
 
 // Allow reports whether user may take another host: its booked usage must
-// not exceed the least-booked known user's by more than the slack. The
-// check uses booked time only (a min over a map — commutative, so map
-// iteration order cannot leak into the outcome).
+// not exceed the least-booked known user's by more than the slack. The min
+// is taken over users in sorted order — the fold itself is commutative, but
+// walking the ledger deterministically keeps the whole decision path free
+// of map-order influence by construction, not by argument.
 func (l *ShareLedger) Allow(user string) bool {
 	if l.slack <= 0 {
 		return true
@@ -86,9 +88,14 @@ func (l *ShareLedger) Allow(user string) bool {
 	if !known {
 		return true // first grant is always allowed
 	}
+	users := make([]string, 0, len(l.booked))
+	for u := range l.booked {
+		users = append(users, u)
+	}
+	sort.Strings(users)
 	min := mine
-	for _, v := range l.booked {
-		if v < min {
+	for _, u := range users {
+		if v := l.booked[u]; v < min {
 			min = v
 		}
 	}

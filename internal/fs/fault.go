@@ -319,9 +319,15 @@ func (f *FS) CheckInvariants(endOfRun bool) []string {
 		sort.Strings(paths)
 		for _, path := range paths {
 			fl := srv.files[path]
-			for h, o := range fl.opens {
+			openHosts := make([]int, 0, len(fl.opens))
+			for h := range fl.opens {
+				openHosts = append(openHosts, int(h))
+			}
+			sort.Ints(openHosts)
+			for _, oh := range openHosts {
+				o := fl.opens[rpc.HostID(oh)]
 				if o.total() <= 0 {
-					out = append(out, fmt.Sprintf("fs: server %d file %s: zombie open entry for host %v (r=%d w=%d)", sh, path, h, o.readers, o.writers))
+					out = append(out, fmt.Sprintf("fs: server %d file %s: zombie open entry for host %v (r=%d w=%d)", sh, path, rpc.HostID(oh), o.readers, o.writers))
 				}
 			}
 			if endOfRun && len(fl.opens) > 0 {

@@ -1,6 +1,7 @@
 package hostsel
 
 import (
+	"sort"
 	"time"
 
 	"sprite/internal/rpc"
@@ -127,8 +128,18 @@ func (c *Caching) expire(env *sim.Env, client rpc.HostID) error {
 }
 
 // FlushAll immediately releases every cached grant (used at client exit).
+// Clients are flushed in sorted order: the wrapped selector sees the
+// released hosts in a fixed sequence, so its free-list order — and every
+// grant it hands out afterwards — stays independent of map iteration.
 func (c *Caching) FlushAll(env *sim.Env) error {
-	for client, pool := range c.pools {
+	clients := make([]int, 0, len(c.pools))
+	for client := range c.pools {
+		clients = append(clients, int(client))
+	}
+	sort.Ints(clients)
+	for _, cl := range clients {
+		client := rpc.HostID(cl)
+		pool := c.pools[client]
 		var hosts []rpc.HostID
 		for _, g := range pool {
 			hosts = append(hosts, g.host)
